@@ -1,0 +1,211 @@
+// Baseline and substrate benchmarks: the Kernighan–Lin graph-partitioning
+// baseline the related work discusses (Section 2), the sketch-based
+// co-occurrence alternative the paper rejects (Section 2), and the
+// set-valued index structures behind the Disseminator's routing choice
+// (Section 3.3).
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/setindex"
+	"repro/internal/sketch"
+	"repro/internal/stream"
+	"repro/internal/tagset"
+)
+
+// BenchmarkBaselineKL compares the classic Kernighan–Lin partitioner
+// against the paper's online algorithms on one window: KL attains
+// comparable quality (its raison d'être) at a build cost that the ns/op
+// column shows to be orders of magnitude above DS — the paper's argument
+// for not using it in a continuously repartitioning system.
+func BenchmarkBaselineKL(b *testing.B) {
+	snap := snapshotOf(benchDocs(2000, 11))
+	b.Run("KL", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := partition.BuildKL(snap, 10, 2, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				q := partition.Evaluate(res, snap)
+				b.ReportMetric(q.AvgCom, "avgcom")
+				b.ReportMetric(q.Gini, "gini")
+			}
+		}
+	})
+	for _, alg := range []partition.Algorithm{partition.DS, partition.SCC, partition.SCL} {
+		alg := alg
+		b.Run(string(alg), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := partition.Build(snap, partition.Options{Algorithm: alg, K: 10, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					q := partition.Evaluate(res, snap)
+					b.ReportMetric(q.AvgCom, "avgcom")
+					b.ReportMetric(q.Gini, "gini")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSketches quantifies the Section 2 objection to sketches:
+// representing each tag's document set with a Bloom filter makes
+// truly-disjoint tag pairs look co-occurring. The benchmark builds filters
+// for the window's tags, estimates pairwise intersections among a sample of
+// non-co-occurring pairs, and reports the false-pair rate — the extra work
+// a sketch-based system would take on — against the exact counters' zero.
+func BenchmarkAblationSketches(b *testing.B) {
+	docs := benchDocs(8000, 12)
+
+	// Exact per-tag document sets and true co-occurrence.
+	tagDocs := make(map[tagset.Tag][]string)
+	cooccur := make(map[[2]tagset.Tag]bool)
+	for _, d := range docs {
+		id := fmt.Sprintf("d%d", d.ID)
+		for i, tg := range d.Tags {
+			tagDocs[tg] = append(tagDocs[tg], id)
+			for _, other := range d.Tags[i+1:] {
+				cooccur[[2]tagset.Tag{tg, other}] = true
+			}
+		}
+	}
+	// Tags with enough documents to matter.
+	var tags []tagset.Tag
+	for tg, ds := range tagDocs {
+		if len(ds) >= 20 {
+			tags = append(tags, tg)
+		}
+	}
+	if len(tags) > 120 {
+		tags = tags[:120]
+	}
+
+	for _, fpp := range []float64{0.01, 0.1} {
+		fpp := fpp
+		b.Run(fmt.Sprintf("bloom-fpp=%g", fpp), func(b *testing.B) {
+			// All filters share one sizing so intersections are estimable.
+			proto := sketch.NewBloom(512, fpp)
+			filters := make(map[tagset.Tag]*sketch.Bloom, len(tags))
+			for _, tg := range tags {
+				f := sketch.CloneEmpty(proto)
+				for _, id := range tagDocs[tg] {
+					f.Add(id)
+				}
+				filters[tg] = f
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				falsePairs, truePairs, checked := 0, 0, 0
+				for x := 0; x < len(tags); x++ {
+					for y := x + 1; y < len(tags); y++ {
+						a, c := tags[x], tags[y]
+						est := sketch.EstimateIntersection(filters[a], filters[c],
+							int64(len(tagDocs[a])), int64(len(tagDocs[c])))
+						checked++
+						looks := est >= 1
+						real := cooccur[[2]tagset.Tag{a, c}] || cooccur[[2]tagset.Tag{c, a}]
+						if looks && !real {
+							falsePairs++
+						}
+						if real {
+							truePairs++
+						}
+					}
+				}
+				b.ReportMetric(float64(falsePairs), "false-pairs")
+				b.ReportMetric(float64(truePairs), "true-pairs")
+				b.ReportMetric(float64(checked), "pairs-checked")
+			}
+		})
+	}
+}
+
+// BenchmarkSetIndexStructures reproduces the Section 3.3 design study on
+// the Disseminator's routing query: which Calculators hold any of a
+// document's tags. The inverted index wins — the paper's choice.
+func BenchmarkSetIndexStructures(b *testing.B) {
+	snap := snapshotOf(benchDocs(8000, 13))
+	res, err := partition.Build(snap, partition.Options{Algorithm: partition.SCL, K: 20, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := benchDocs(4096, 14)
+
+	build := map[string]func() setindex.Index{
+		"scan":      func() setindex.Index { return setindex.NewScan() },
+		"signature": func() setindex.Index { return setindex.NewSignature(16) },
+		"inverted":  func() setindex.Index { return setindex.NewInverted() },
+	}
+	for _, name := range []string{"scan", "signature", "inverted"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			idx := build[name]()
+			for i, p := range res.Parts {
+				if !p.Tags.IsEmpty() {
+					idx.Add(i, p.Tags)
+				}
+			}
+			var dst []int
+			b.ResetTimer()
+			hits := 0
+			for i := 0; i < b.N; i++ {
+				dst = idx.Intersecting(queries[i%len(queries)].Tags, dst[:0])
+				hits += len(dst)
+			}
+			_ = hits
+		})
+	}
+}
+
+// BenchmarkAblationAutoScale measures topology scaling (Section 7.3): with
+// a load target, light streams activate fewer Calculators without hurting
+// coverage.
+func BenchmarkAblationAutoScale(b *testing.B) {
+	for _, target := range []int64{0, 2000, 8000} {
+		target := target
+		name := "fixed-k"
+		if target > 0 {
+			name = fmt.Sprintf("target=%d", target)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				docs := benchDocs(16000, 15)
+				cfg := benchPipelineConfig()
+				cfg.AutoScaleLoad = target
+				res := runPipeline(b, cfg, docs)
+				active := 0
+				for _, c := range res.Dissem.PerCalculator {
+					if c > 0 {
+						active++
+					}
+				}
+				b.ReportMetric(float64(active), "active-calcs")
+				b.ReportMetric(res.Communication, "comm")
+			}
+		})
+	}
+}
+
+// BenchmarkWindowKinds compares the Partitioner's two window types
+// (Section 6.2): time-based vs count-based, on insertion throughput.
+func BenchmarkWindowKinds(b *testing.B) {
+	docs := benchDocs(16384, 16)
+	b.Run("time-5min", func(b *testing.B) {
+		w := stream.NewSlidingWindow(stream.Minutes(5))
+		for i := 0; i < b.N; i++ {
+			w.Add(docs[i%len(docs)])
+		}
+	})
+	b.Run("count-10000", func(b *testing.B) {
+		w := stream.NewCountWindow(10000)
+		for i := 0; i < b.N; i++ {
+			w.Add(docs[i%len(docs)])
+		}
+	})
+}

@@ -1,0 +1,90 @@
+// Command experiments regenerates the paper's evaluation figures on the
+// synthetic stream:
+//
+//	experiments -fig 3            # Figure 3 (communication)
+//	experiments -fig all          # every figure
+//	experiments -fig theory       # Section 5 models
+//	experiments -fig mixing       # giant-component ablation (§5.1/§8.3)
+//	experiments -minutes 90       # longer virtual stream
+//
+// Output is plain-text tables; each row/series corresponds to one plotted
+// point of the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/expr"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 3,4,5,6,7,8,9,theory,mixing,all")
+	minutes := flag.Float64("minutes", 60, "virtual stream length in minutes")
+	seed := flag.Int64("seed", 1, "stream seed")
+	flag.Parse()
+
+	suite := expr.NewSuite(expr.Defaults{Minutes: *minutes, Seed: *seed}, nil)
+
+	builders := map[string]func(*expr.Suite) *expr.Figure{
+		"3":      expr.Fig3,
+		"4":      expr.Fig4,
+		"5":      expr.Fig5,
+		"6":      expr.Fig6,
+		"7":      expr.Fig7,
+		"8":      expr.Fig8,
+		"9":      expr.Fig9,
+		"theory": expr.TheoryFigure,
+	}
+	order := []string{"3", "4", "5", "6", "7", "8", "9", "theory", "mixing"}
+
+	var wanted []string
+	switch *fig {
+	case "all":
+		wanted = order
+	default:
+		for _, f := range strings.Split(*fig, ",") {
+			f = strings.TrimSpace(f)
+			if f != "mixing" && builders[f] == nil {
+				fmt.Fprintf(os.Stderr, "experiments: unknown figure %q\n", f)
+				os.Exit(2)
+			}
+			wanted = append(wanted, f)
+		}
+	}
+
+	// Pre-run the shared sweep grid in parallel when several sweep figures
+	// are requested.
+	needsSweep := 0
+	for _, f := range wanted {
+		switch f {
+		case "3", "4", "5", "6", "8", "9":
+			needsSweep++
+		}
+	}
+	if needsSweep > 1 {
+		fmt.Fprintf(os.Stderr, "running %d experiment cells (%g virtual minutes each)...\n",
+			len(expr.SweepCells()), *minutes)
+		suite.RunAll(expr.SweepCells())
+	}
+
+	for _, f := range wanted {
+		if f == "mixing" {
+			mix := expr.GiantComponentFigure(5, *seed)
+			if _, err := mix.WriteTo(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+			continue
+		}
+		figure := builders[f](suite)
+		if _, err := figure.WriteTo(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,108 @@
+// Command tagcorr runs the full distributed tag-correlation pipeline on a
+// JSONL tweet file (see cmd/datagen) or a freshly generated stream, and
+// prints the tracked Jaccard coefficients per reporting period.
+//
+//	tagcorr -minutes 20 -alg DS
+//	datagen -minutes 20 -o t.jsonl && tagcorr -in t.jsonl -alg SCL
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/stream"
+	"repro/internal/tagset"
+	"repro/internal/twitgen"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "JSONL input file (empty: generate synthetically)")
+		alg     = flag.String("alg", "DS", "partitioning algorithm: DS, SCC, SCL, SCI, DS+split")
+		k       = flag.Int("k", 10, "number of partitions / Calculators")
+		p       = flag.Int("p", 10, "number of Partitioners")
+		thr     = flag.Float64("thr", 0.5, "repartition threshold")
+		minutes = flag.Float64("minutes", 20, "generated stream length (ignored with -in)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		minCN   = flag.Int64("mincn", 10, "only print coefficients with support >= mincn")
+		top     = flag.Int("top", 20, "coefficients to print per period")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Algorithm = partition.Algorithm(*alg)
+	cfg.K = *k
+	cfg.P = *p
+	cfg.Thr = *thr
+
+	dict := tagset.NewDictionary()
+	var src core.DocumentSource
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		var docs []stream.Document
+		err = stream.ReadJSONL(f, dict, func(d stream.Document) error {
+			docs = append(docs, d)
+			return nil
+		})
+		if err != nil {
+			fatal(err)
+		}
+		src = core.SliceSource(docs)
+	} else {
+		gcfg := twitgen.Default()
+		gcfg.Seed = *seed
+		gen, err := twitgen.New(gcfg, dict)
+		if err != nil {
+			fatal(err)
+		}
+		limit := stream.Minutes(*minutes)
+		src = func() (stream.Document, bool) {
+			d := gen.Next()
+			if d.Time >= limit {
+				return stream.Document{}, false
+			}
+			return d, true
+		}
+	}
+
+	pipe, err := core.NewPipeline(cfg, src)
+	if err != nil {
+		fatal(err)
+	}
+	res := pipe.Run()
+
+	fmt.Printf("# algorithm=%s k=%d P=%d thr=%g\n", cfg.Algorithm, cfg.K, cfg.P, cfg.Thr)
+	fmt.Printf("# docs=%d (bootstrap %d) communication=%.3f loadGini=%.3f\n",
+		res.DocsProcessed, res.DocsBeforeInstall, res.Communication, res.LoadGini)
+	fmt.Printf("# repartitions=%d (comm=%d load=%d both=%d) singleAdditions=%d\n",
+		res.Repartitions, res.RepartitionsComm, res.RepartitionsLoad, res.RepartitionsBoth,
+		res.SingleAdditions)
+
+	for _, period := range res.Tracker.Periods() {
+		rep := res.Tracker.Report(period)
+		fmt.Printf("\n== period %d (%d coefficients) ==\n", period, len(rep))
+		shown := 0
+		for _, c := range rep {
+			if c.CN < *minCN {
+				continue
+			}
+			names := dict.Strings(c.Tags)
+			fmt.Printf("J=%.4f n=%-5d %v\n", c.J, c.CN, names)
+			if shown++; shown == *top {
+				break
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tagcorr:", err)
+	os.Exit(1)
+}

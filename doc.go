@@ -1,0 +1,17 @@
+// Package repro is a from-scratch Go reproduction of "Tracking Set
+// Correlations at Large Scale" (Alvanaki & Michel, SIGMOD 2014): continuous
+// computation of Jaccard coefficients for all sets of co-occurring tags in
+// a social-media stream, distributed over k calculator nodes by online tag
+// partitioning.
+//
+// The library lives under internal/ (see DESIGN.md for the module map);
+// this root package carries the benchmark harness that regenerates every
+// figure of the paper's evaluation (bench_test.go) plus the ablation
+// benchmarks. Entry points:
+//
+//   - internal/core: the pipeline API (wire a stream, run, read results)
+//   - internal/partition: the DS / SCC / SCL / SCI partitioning algorithms
+//   - internal/expr: the experiment harness behind cmd/experiments
+//   - cmd/experiments, cmd/tagcorr, cmd/datagen: executables
+//   - examples/: runnable walkthroughs
+package repro

@@ -1,0 +1,222 @@
+// Package core is the library's public entry point: it wires the paper's
+// full operator topology (Figure 2) into a runnable Pipeline and collects
+// the run's results — Jaccard coefficient reports, communication and load
+// statistics, repartition history, and raw dataflow counters.
+//
+// A minimal use looks like:
+//
+//	cfg := core.DefaultConfig()
+//	cfg.Algorithm = partition.DS
+//	p, err := core.NewPipeline(cfg, core.GeneratorSource(gen, 100000))
+//	res := p.Run()
+//	for _, c := range res.Coefficients { ... }
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/jaccard"
+	"repro/internal/operators"
+	"repro/internal/partition"
+	"repro/internal/storm"
+	"repro/internal/stream"
+)
+
+// Config re-exports the operator configuration as the pipeline's knob set.
+type Config = operators.Config
+
+// DefaultConfig returns the paper's default parameters (Section 8.2).
+func DefaultConfig() Config { return operators.DefaultConfig() }
+
+// DocumentSource yields the input stream; return false to end the run.
+type DocumentSource func() (stream.Document, bool)
+
+// GeneratorSource caps a generator-like Next function at n documents.
+func GeneratorSource(next func() stream.Document, n int) DocumentSource {
+	i := 0
+	return func() (stream.Document, bool) {
+		if i >= n {
+			return stream.Document{}, false
+		}
+		i++
+		return next(), true
+	}
+}
+
+// SliceSource streams a fixed document slice.
+func SliceSource(docs []stream.Document) DocumentSource {
+	i := 0
+	return func() (stream.Document, bool) {
+		if i >= len(docs) {
+			return stream.Document{}, false
+		}
+		d := docs[i]
+		i++
+		return d, true
+	}
+}
+
+// Pipeline is a built, single-use instance of the full topology.
+type Pipeline struct {
+	cfg  Config
+	topo *storm.Topology
+
+	parsers       []*operators.Parser
+	partitioners  []*operators.Partitioner
+	merger        *operators.Merger
+	disseminators []*operators.Disseminator
+	calculators   []*operators.Calculator
+	tracker       *operators.Tracker
+}
+
+// NewPipeline assembles the topology for the given configuration and input.
+// The returned pipeline must be run exactly once.
+func NewPipeline(cfg Config, src DocumentSource) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, fmt.Errorf("core: nil document source")
+	}
+	p := &Pipeline{cfg: cfg}
+
+	b := storm.NewBuilder()
+	b.Spout("source", func() storm.Spout {
+		return operators.NewSource(src)
+	}, 1)
+
+	b.Bolt("parser", func() storm.Bolt {
+		ps := operators.NewParser(cfg.MaxTags)
+		p.parsers = append(p.parsers, ps)
+		return ps
+	}, cfg.Parsers).Shuffle("source")
+
+	b.Bolt("partitioner", func() storm.Bolt {
+		pt := operators.NewPartitioner(cfg)
+		p.partitioners = append(p.partitioners, pt)
+		return pt
+	}, cfg.P).
+		Fields("parser", operators.TagsetKey).
+		All("disseminator")
+
+	b.Bolt("merger", func() storm.Bolt {
+		p.merger = operators.NewMerger(cfg)
+		return p.merger
+	}, 1).
+		Shuffle("partitioner").
+		Shuffle("disseminator")
+
+	b.Bolt("disseminator", func() storm.Bolt {
+		d := operators.NewDisseminator(cfg)
+		p.disseminators = append(p.disseminators, d)
+		return d
+	}, cfg.Disseminators).
+		Shuffle("parser").
+		All("merger")
+
+	b.Bolt("calculator", func() storm.Bolt {
+		c := operators.NewCalculator(cfg)
+		p.calculators = append(p.calculators, c)
+		return c
+	}, cfg.K).Direct("disseminator")
+
+	b.Bolt("tracker", func() storm.Bolt {
+		p.tracker = operators.NewTracker()
+		return p.tracker
+	}, 1).Shuffle("calculator")
+
+	topo, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	p.topo = topo
+	return p, nil
+}
+
+// Result summarises one pipeline run.
+type Result struct {
+	// Coefficients are the Tracker's deduplicated Jaccard reports across
+	// all reporting periods.
+	Coefficients []jaccard.Coefficient
+
+	// Communication is the run-average notifications per notified document
+	// (Figure 3); LoadGini the Gini coefficient of cumulative per-
+	// Calculator notifications (Figure 4).
+	Communication float64
+	LoadGini      float64
+
+	// Repartitions splits post-bootstrap repartition requests by trigger
+	// cause (Figure 6).
+	Repartitions      int
+	RepartitionsComm  int
+	RepartitionsLoad  int
+	RepartitionsBoth  int
+	SingleAdditions   int
+	Merges            int
+	UncoveredDocs     int64
+	DocsProcessed     int64
+	DocsBeforeInstall int64
+
+	// Dissem exposes the full per-run statistics (time series for
+	// Figures 8 and 9) of the first Disseminator instance.
+	Dissem *operators.DissemStats
+
+	// Tracker grants access to per-period reports; Storm to raw dataflow
+	// counters.
+	Tracker *operators.Tracker
+	Storm   *storm.Stats
+}
+
+// Run executes the pipeline on the deterministic sequential executor and
+// gathers the results. It must be called at most once.
+func (p *Pipeline) Run() *Result {
+	st := p.topo.RunSequential()
+	return p.collect(st)
+}
+
+// RunConcurrent executes the pipeline with one goroutine per task. Results
+// carry the same totals as Run, but interleaving-dependent details (exact
+// repartition positions, coefficient values near period boundaries) may
+// differ run to run.
+func (p *Pipeline) RunConcurrent() *Result {
+	st := p.topo.RunConcurrent()
+	return p.collect(st)
+}
+
+func (p *Pipeline) collect(st *storm.Stats) *Result {
+	r := &Result{
+		Coefficients: p.tracker.All(),
+		Merges:       p.merger.Merges,
+		Tracker:      p.tracker,
+		Storm:        st,
+	}
+	for _, d := range p.disseminators {
+		s := &d.Stats
+		r.Repartitions += s.Repartitions
+		r.RepartitionsComm += s.CauseComm
+		r.RepartitionsLoad += s.CauseLoad
+		r.RepartitionsBoth += s.CauseBoth
+		r.SingleAdditions += s.AdditionsAsked
+		r.UncoveredDocs += s.UncoveredDocs
+		r.DocsProcessed += s.Docs
+		r.DocsBeforeInstall += s.BeforePartition
+	}
+	// With one Disseminator (the paper's configuration) these are exact;
+	// with several they are the first instance's view.
+	r.Dissem = &p.disseminators[0].Stats
+	r.Communication = r.Dissem.Communication()
+	r.LoadGini = r.Dissem.LoadGini()
+	return r
+}
+
+// Merger exposes the merger bolt (current partitions after a run).
+func (p *Pipeline) Merger() *operators.Merger { return p.merger }
+
+// Partitions returns the final partitions (nil if no merge happened).
+func (p *Pipeline) Partitions() *partition.Result { return p.merger.Current() }
+
+// Calculators exposes the calculator bolts.
+func (p *Pipeline) Calculators() []*operators.Calculator { return p.calculators }
+
+// Disseminators exposes the disseminator bolts.
+func (p *Pipeline) Disseminators() []*operators.Disseminator { return p.disseminators }

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/jaccard"
+	"repro/internal/partition"
+	"repro/internal/stream"
+	"repro/internal/tagset"
+	"repro/internal/twitgen"
+)
+
+// shortStream produces n documents of a small deterministic synthetic
+// stream with a fast clock so windows fill quickly.
+func shortStream(t *testing.T, n int, seed int64) ([]stream.Document, *tagset.Dictionary) {
+	t.Helper()
+	dict := tagset.NewDictionary()
+	cfg := twitgen.Default()
+	cfg.Seed = seed
+	cfg.TPS = 26000 // 1300 tagged docs per virtual second
+	cfg.Topics = 60
+	cfg.TagsPerTopic = 10
+	g, err := twitgen.New(cfg, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Generate(n), dict
+}
+
+// fastConfig shrinks windows and reporting so short tests exercise the full
+// life cycle: bootstrap, installs, reports, additions, repartitions.
+func fastConfig(alg partition.Algorithm) Config {
+	cfg := DefaultConfig()
+	cfg.Algorithm = alg
+	cfg.K = 4
+	cfg.P = 3
+	cfg.WindowSpan = stream.Seconds(5)
+	cfg.ReportEvery = stream.Seconds(5)
+	cfg.StatsEvery = 500
+	return cfg
+}
+
+func TestNewPipelineValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := NewPipeline(cfg, nil); err == nil {
+		t.Error("nil source accepted")
+	}
+	cfg.K = 0
+	if _, err := NewPipeline(cfg, SliceSource(nil)); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	for _, alg := range []partition.Algorithm{partition.DS, partition.SCC, partition.SCL, partition.SCI} {
+		t.Run(string(alg), func(t *testing.T) {
+			docs, _ := shortStream(t, 40000, 3)
+			pipe, err := NewPipeline(fastConfig(alg), SliceSource(docs))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := pipe.Run()
+
+			if res.DocsProcessed != 40000 {
+				t.Errorf("processed %d docs", res.DocsProcessed)
+			}
+			if res.Merges < 1 {
+				t.Fatal("no partitions were ever merged")
+			}
+			if res.DocsBeforeInstall <= 0 || res.DocsBeforeInstall >= res.DocsProcessed {
+				t.Errorf("bootstrap consumed %d of %d docs", res.DocsBeforeInstall, res.DocsProcessed)
+			}
+			if len(res.Coefficients) == 0 {
+				t.Fatal("no Jaccard coefficients reported")
+			}
+			for _, c := range res.Coefficients {
+				if c.J < 0 || c.J > 1 {
+					t.Fatalf("coefficient out of range: %+v", c)
+				}
+				if c.Tags.Len() < 2 {
+					t.Fatalf("coefficient for %d-tag set", c.Tags.Len())
+				}
+			}
+			if res.Communication < 1 {
+				t.Errorf("communication = %g < 1", res.Communication)
+			}
+			if res.LoadGini < 0 || res.LoadGini >= 1 {
+				t.Errorf("load gini = %g", res.LoadGini)
+			}
+			if pipe.Partitions() == nil {
+				t.Error("no final partitions")
+			}
+		})
+	}
+}
+
+func TestPipelineDeterministic(t *testing.T) {
+	run := func() *Result {
+		docs, _ := shortStream(t, 20000, 9)
+		pipe, err := NewPipeline(fastConfig(partition.DS), SliceSource(docs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pipe.Run()
+	}
+	a, b := run(), run()
+	if a.Communication != b.Communication || a.LoadGini != b.LoadGini {
+		t.Errorf("metrics diverged: %g/%g vs %g/%g",
+			a.Communication, a.LoadGini, b.Communication, b.LoadGini)
+	}
+	if len(a.Coefficients) != len(b.Coefficients) {
+		t.Errorf("coefficients %d vs %d", len(a.Coefficients), len(b.Coefficients))
+	}
+	if a.Repartitions != b.Repartitions || a.SingleAdditions != b.SingleAdditions {
+		t.Errorf("dynamics diverged: %d/%d vs %d/%d",
+			a.Repartitions, a.SingleAdditions, b.Repartitions, b.SingleAdditions)
+	}
+}
+
+func TestPipelineConcurrentMatchesTotals(t *testing.T) {
+	docs, _ := shortStream(t, 20000, 5)
+	seq, err := NewPipeline(fastConfig(partition.DS), SliceSource(docs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres := seq.Run()
+
+	con, err := NewPipeline(fastConfig(partition.DS), SliceSource(docs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cres := con.RunConcurrent()
+
+	if cres.DocsProcessed != sres.DocsProcessed {
+		t.Errorf("docs: %d vs %d", cres.DocsProcessed, sres.DocsProcessed)
+	}
+	if cres.Merges < 1 || len(cres.Coefficients) == 0 {
+		t.Error("concurrent run produced no results")
+	}
+	if cres.Dissem.Notifications == 0 {
+		t.Error("concurrent run sent no notifications")
+	}
+	// Scheduling shifts when the first partitions install (and therefore
+	// how much of the stream is disseminated), so coefficient counts vary
+	// widely run to run; require the same order of magnitude only.
+	ratio := float64(len(cres.Coefficients)) / float64(len(sres.Coefficients))
+	if ratio < 0.1 || ratio > 10 {
+		t.Errorf("coefficient counts diverged: %d vs %d", len(cres.Coefficients), len(sres.Coefficients))
+	}
+}
+
+// TestPipelineAccuracy checks the headline claim of Section 8.2.3 at run
+// level: the overwhelming majority of tagsets seen more than sn times in
+// the (post-install) input receive a Jaccard coefficient, and per-period
+// coefficients stay close to the exact centralized baseline.
+func TestPipelineAccuracy(t *testing.T) {
+	docs, _ := shortStream(t, 60000, 11)
+	cfg := fastConfig(partition.DS)
+	pipe, err := NewPipeline(cfg, SliceSource(docs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := pipe.Run()
+	post := docs[res.DocsBeforeInstall:]
+
+	// Run-level coverage.
+	inputCounts := make(map[tagset.Key]int64)
+	for _, d := range post {
+		if d.Tags.Len() >= 2 {
+			inputCounts[d.Tags.Key()]++
+		}
+	}
+	reported := make(map[tagset.Key]struct{})
+	for _, c := range res.Coefficients {
+		reported[c.Tags.Key()] = struct{}{}
+	}
+	var frequent, hit int
+	for k, n := range inputCounts {
+		if n > int64(cfg.SN) {
+			frequent++
+			if _, ok := reported[k]; ok {
+				hit++
+			}
+		}
+	}
+	if frequent == 0 {
+		t.Fatal("no frequent tagsets in input")
+	}
+	coverage := float64(hit) / float64(frequent)
+	if coverage < 0.9 {
+		t.Errorf("run-level coverage = %.3f (%d/%d), want >= 0.9", coverage, hit, frequent)
+	}
+
+	// Per-period error against the exact centralized baseline.
+	central := jaccard.NewCentralized()
+	var boundary stream.Millis
+	started := false
+	var errSum, weight float64
+	flush := func(period int64) {
+		base := central.Report(int64(cfg.SN) + 1)
+		if len(base) == 0 {
+			return
+		}
+		e, cov := jaccard.CompareReports(base, res.Tracker.Report(period))
+		w := cov * float64(len(base))
+		errSum += e * w
+		weight += w
+	}
+	for _, d := range post {
+		if !started {
+			boundary = (d.Time/cfg.ReportEvery + 1) * cfg.ReportEvery
+			started = true
+		}
+		for d.Time >= boundary {
+			flush(int64(boundary / cfg.ReportEvery))
+			boundary += cfg.ReportEvery
+		}
+		central.Observe(d.Tags)
+	}
+	flush(int64(boundary / cfg.ReportEvery))
+	if weight == 0 {
+		t.Fatal("no matched tagsets for error computation")
+	}
+	meanErr := errSum / weight
+	if meanErr > 0.2 {
+		t.Errorf("mean Jaccard error = %.4f, want small", meanErr)
+	}
+}
+
+func TestGeneratorSourceCap(t *testing.T) {
+	n := 0
+	src := GeneratorSource(func() stream.Document {
+		n++
+		return stream.Document{ID: uint64(n)}
+	}, 3)
+	got := 0
+	for {
+		_, ok := src()
+		if !ok {
+			break
+		}
+		got++
+	}
+	if got != 3 || n != 3 {
+		t.Errorf("yielded %d docs, generator called %d times", got, n)
+	}
+}
+
+func TestSliceSourceExhausts(t *testing.T) {
+	src := SliceSource([]stream.Document{{ID: 1}, {ID: 2}})
+	d1, ok1 := src()
+	d2, ok2 := src()
+	_, ok3 := src()
+	if !ok1 || !ok2 || ok3 || d1.ID != 1 || d2.ID != 2 {
+		t.Error("SliceSource misbehaved")
+	}
+}
+
+// TestPipelineMultipleDisseminators exercises the paper's "multiple
+// instances of the Disseminator can be created" option (Section 6.2): two
+// Disseminators each route half the stream; partitions and addition
+// results are broadcast to both.
+func TestPipelineMultipleDisseminators(t *testing.T) {
+	docs, _ := shortStream(t, 30000, 21)
+	cfg := fastConfig(partition.DS)
+	cfg.Disseminators = 2
+	cfg.Parsers = 2
+	pipe, err := NewPipeline(cfg, SliceSource(docs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := pipe.Run()
+	if res.Merges < 1 {
+		t.Fatal("no merges with two disseminators")
+	}
+	if len(res.Coefficients) == 0 {
+		t.Fatal("no coefficients with two disseminators")
+	}
+	ds := pipe.Disseminators()
+	if len(ds) != 2 {
+		t.Fatalf("disseminator instances = %d", len(ds))
+	}
+	// Both instances must have routed traffic (shuffle grouping).
+	for i, d := range ds {
+		if d.Stats.NotifiedDocs == 0 {
+			t.Errorf("disseminator %d routed nothing", i)
+		}
+	}
+	if res.DocsProcessed != 30000 {
+		t.Errorf("docs processed = %d", res.DocsProcessed)
+	}
+}
+
+// TestPipelineAutoScale runs the Section 7.3 scaling mode end to end: a
+// light stream must leave some of the K calculators idle.
+func TestPipelineAutoScale(t *testing.T) {
+	docs, _ := shortStream(t, 30000, 23)
+	cfg := fastConfig(partition.DS)
+	cfg.K = 8
+	cfg.AutoScaleLoad = 1 << 40 // absurdly high target: one calculator suffices
+	pipe, err := NewPipeline(cfg, SliceSource(docs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := pipe.Run()
+	active := 0
+	for _, c := range res.Dissem.PerCalculator {
+		if c > 0 {
+			active++
+		}
+	}
+	if active != 1 {
+		t.Errorf("active calculators = %d, want 1 under auto-scaling", active)
+	}
+	if len(res.Coefficients) == 0 {
+		t.Error("auto-scaled pipeline produced no coefficients")
+	}
+}

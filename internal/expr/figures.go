@@ -1,0 +1,393 @@
+package expr
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/stream"
+	"repro/internal/tagset"
+	"repro/internal/theory"
+	"repro/internal/twitgen"
+)
+
+// algorithms in the paper's plotting order.
+var algorithms = partition.Algorithms
+
+// sweep describes the four parameter panels shared by Figures 3–6.
+type sweepPoint struct {
+	label string
+	p     Params
+}
+
+func sweeps() []struct {
+	title  string
+	points []sweepPoint
+} {
+	return []struct {
+		title  string
+		points []sweepPoint
+	}{
+		{"Varying threshold (P=10, k=10, tps=1300)", []sweepPoint{
+			{"thr=0.2", Params{Thr: 0.2}},
+			{"thr=0.5", Params{Thr: 0.5}},
+		}},
+		{"Varying Partitioners (k=10, thr=0.5, tps=1300)", []sweepPoint{
+			{"P=3", Params{P: 3}},
+			{"P=5", Params{P: 5}},
+			{"P=10", Params{P: 10}},
+		}},
+		{"Varying partitions (P=10, thr=0.5, tps=1300)", []sweepPoint{
+			{"k=5", Params{K: 5}},
+			{"k=10", Params{K: 10}},
+			{"k=20", Params{K: 20}},
+		}},
+		{"Varying tweets rate (P=10, k=10, thr=0.5)", []sweepPoint{
+			{"tps=1300", Params{TPS: 1300}},
+			{"tps=2600", Params{TPS: 2600}},
+		}},
+	}
+}
+
+// SweepCells lists every distinct cell of the Figure 3–6 grid, for
+// pre-running with RunAll. Points that normalise to the default setting
+// (P=10, k=10, thr=0.5, tps=1300) are deduplicated across panels, as in
+// the paper's figures.
+func SweepCells() []Params {
+	seen := map[string]bool{}
+	var out []Params
+	for _, sw := range sweeps() {
+		for _, pt := range sw.points {
+			for _, alg := range algorithms {
+				p := pt.p
+				p.Algorithm = alg
+				n := p.normalise(Defaults{Minutes: 1, Seed: 1}) // grid key only
+				key := fmt.Sprintf("%s/%d/%d/%g/%d", n.Algorithm, n.K, n.P, n.Thr, n.TPS)
+				if !seen[key] {
+					seen[key] = true
+					out = append(out, p)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// sweepFigure renders one metric over the Figure 3–6 grid.
+func sweepFigure(s *Suite, id, title string, metric func(*CellResult) string) *Figure {
+	f := &Figure{ID: id, Title: title}
+	header := append([]string{""}, make([]string, len(algorithms))...)
+	for i, a := range algorithms {
+		header[i+1] = string(a)
+	}
+	for _, sw := range sweeps() {
+		panel := Panel{Title: sw.title, Header: header}
+		for _, pt := range sw.points {
+			row := []string{pt.label}
+			for _, alg := range algorithms {
+				p := pt.p
+				p.Algorithm = alg
+				row = append(row, metric(s.Cell(p)))
+			}
+			panel.Rows = append(panel.Rows, row)
+		}
+		f.Panels = append(f.Panels, panel)
+	}
+	return f
+}
+
+// Fig3 reproduces Figure 3: average communication per algorithm.
+func Fig3(s *Suite) *Figure {
+	return sweepFigure(s, "Figure 3", "Communication (avg messages per notified tagset)",
+		func(c *CellResult) string { return fmt.Sprintf("%.2f", c.Communication) })
+}
+
+// Fig4 reproduces Figure 4: Gini coefficient of per-Calculator load.
+func Fig4(s *Suite) *Figure {
+	return sweepFigure(s, "Figure 4", "Processing Load (Gini coefficient)",
+		func(c *CellResult) string { return fmt.Sprintf("%.3f", c.LoadGini) })
+}
+
+// Fig5 reproduces Figure 5: mean absolute Jaccard error against the
+// centralized baseline for tagsets seen more than sn times, with the
+// coverage (fraction of baseline tagsets reported at all) alongside.
+func Fig5(s *Suite) *Figure {
+	return sweepFigure(s, "Figure 5", "Jaccard error vs centralized (coverage in parentheses)",
+		func(c *CellResult) string {
+			return fmt.Sprintf("%.4f (%.1f%%)", c.MeanAbsError, 100*c.Coverage)
+		})
+}
+
+// Fig6 reproduces Figure 6: repartition counts split by triggering cause
+// (communication / both / load).
+func Fig6(s *Suite) *Figure {
+	return sweepFigure(s, "Figure 6", "#Repartitions as comm/both/load",
+		func(c *CellResult) string {
+			return fmt.Sprintf("%d/%d/%d", c.CauseComm, c.CauseBoth, c.CauseLoad)
+		})
+}
+
+// Fig7 reproduces Figure 7: tagset connectivity per tumbling window of 2,
+// 5, 10 and 20 minutes — maximum tag share and load share of a single
+// connected component, and the number of disjoint sets.
+func Fig7(s *Suite) *Figure {
+	f := &Figure{ID: "Figure 7", Title: "Tagset connectivity and load per window size"}
+	panel := Panel{
+		Title:  "Per tumbling window (mean over windows)",
+		Header: []string{"window", "#tags%", "#docs%", "#disjoint sets", "#windows"},
+	}
+	for _, mins := range []float64{2, 5, 10, 20} {
+		st := s.connectivity(mins)
+		panel.Rows = append(panel.Rows, []string{
+			fmt.Sprintf("%gmin", mins),
+			fmt.Sprintf("%.1f", 100*st.maxTagShare),
+			fmt.Sprintf("%.1f", 100*st.maxLoadShare),
+			fmt.Sprintf("%.0f", st.components),
+			fmt.Sprintf("%d", st.windows),
+		})
+	}
+	f.Panels = append(f.Panels, panel)
+	return f
+}
+
+type connStats struct {
+	maxTagShare  float64
+	maxLoadShare float64
+	components   float64
+	windows      int
+}
+
+// connectivity measures Figure 7's statistics over the suite's default
+// stream with the given tumbling-window size.
+func (s *Suite) connectivity(minutes float64) connStats {
+	docs := s.docs(1300, s.def.Seed, s.def.Minutes)
+	w := stream.NewTumblingWindow(stream.Minutes(minutes))
+	var st connStats
+	add := func(batch []stream.Document) {
+		if len(batch) == 0 {
+			return
+		}
+		g := graph.WindowStats(batch)
+		st.maxTagShare += g.MaxTagsShare
+		st.maxLoadShare += g.MaxLoadShare
+		st.components += float64(g.Components)
+		st.windows++
+	}
+	for _, d := range docs {
+		add(w.Add(d))
+	}
+	add(w.Flush())
+	if st.windows > 0 {
+		st.maxTagShare /= float64(st.windows)
+		st.maxLoadShare /= float64(st.windows)
+		st.components /= float64(st.windows)
+	}
+	return st
+}
+
+// Fig8 reproduces Figure 8: communication over processed documents, one
+// panel per algorithm, with repartition positions marked.
+func Fig8(s *Suite) *Figure {
+	f := &Figure{ID: "Figure 8", Title: "Communication over time (P=10, k=10, thr=0.5, tps=1300)"}
+	for _, alg := range algorithms {
+		c := s.Cell(Params{Algorithm: alg})
+		panel := Panel{
+			Title:  fmt.Sprintf("%s (repartitions at %s)", alg, marksSummary(c.Dissem.CommSeries.Marks)),
+			Header: []string{"docs(k)", "comm(avg)"},
+		}
+		for _, pt := range decimate(c.Dissem.CommSeries.Points, 16) {
+			panel.Rows = append(panel.Rows, []string{
+				fmt.Sprintf("%.0f", pt.X/1000),
+				fmt.Sprintf("%.3f", pt.Y),
+			})
+		}
+		f.Panels = append(f.Panels, panel)
+	}
+	return f
+}
+
+// Fig9 reproduces Figure 9: sorted per-Calculator load shares over
+// processed documents, one panel per algorithm.
+func Fig9(s *Suite) *Figure {
+	f := &Figure{ID: "Figure 9", Title: "Processing load over time (P=10, k=10, thr=0.5, tps=1300)"}
+	for _, alg := range algorithms {
+		c := s.Cell(Params{Algorithm: alg})
+		panel := Panel{
+			Title:  string(alg),
+			Header: []string{"docs(k)", "max", "2nd", "3rd", "min"},
+		}
+		samples := c.Dissem.LoadSeries
+		for _, sm := range decimate(samples, 16) {
+			row := []string{fmt.Sprintf("%.0f", sm.X/1000)}
+			row = append(row, pick(sm.Shares, 0), pick(sm.Shares, 1), pick(sm.Shares, 2))
+			if len(sm.Shares) > 0 {
+				row = append(row, fmt.Sprintf("%.3f", sm.Shares[len(sm.Shares)-1]))
+			} else {
+				row = append(row, "-")
+			}
+			panel.Rows = append(panel.Rows, row)
+		}
+		f.Panels = append(f.Panels, panel)
+	}
+	return f
+}
+
+// TheoryFigure reproduces the Section 5 analysis: the np table of the
+// worked example (5.1) and the expected-communication regimes (5.2),
+// together with the measured distinct-pair rate of the synthetic stream.
+func TheoryFigure(s *Suite) *Figure {
+	f := &Figure{ID: "Theory", Title: "Section 5 models"}
+
+	np := Panel{
+		Title:  "Erdős–Rényi np (Section 5.1 worked example)",
+		Header: []string{"window", "mmax", "np(model)", "giant?"},
+	}
+	sc := theory.DefaultScenario()
+	for _, c := range []struct {
+		mins float64
+		mmax int
+	}{{5, 8}, {10, 8}, {10, 6}} {
+		sc.WindowMinutes = c.mins
+		sc.MMax = c.mmax
+		v := sc.NP()
+		np.Rows = append(np.Rows, []string{
+			fmt.Sprintf("%gmin", c.mins), fmt.Sprintf("%d", c.mmax),
+			fmt.Sprintf("%.2f", v), fmt.Sprintf("%v", theory.GiantComponentLikely(v)),
+		})
+	}
+	sc = theory.DefaultScenario()
+	sc.WindowMinutes = 10
+	np.Rows = append(np.Rows, []string{"10min", "measured",
+		fmt.Sprintf("%.2f", sc.MeasuredNP(5_500_000)), "false"})
+	f.Panels = append(f.Panels, np)
+
+	// Measured pairs of the synthetic stream, scaled to the paper's
+	// vocabulary model.
+	docs := s.docs(1300, s.def.Seed, s.def.Minutes)
+	st := graph.WindowStats(docs)
+	meas := Panel{
+		Title:  "Synthetic stream co-occurrence",
+		Header: []string{"docs", "tags", "distinct pairs", "np(tag graph)"},
+	}
+	meas.Rows = append(meas.Rows, []string{
+		fmt.Sprintf("%d", st.Documents), fmt.Sprintf("%d", st.Tags),
+		fmt.Sprintf("%d", st.DistinctPairs),
+		fmt.Sprintf("%.2f", theory.NP(int64(st.Tags), float64(st.DistinctPairs))),
+	})
+	f.Panels = append(f.Panels, meas)
+
+	comm := Panel{
+		Title:  "E[communication] (Section 5.2): partitions touched per tweet",
+		Header: []string{"vocab v", "tweets n", "k", "m", "E[comm]"},
+	}
+	for _, c := range []struct {
+		v, n, k int64
+		m       int
+	}{
+		{40, 10000, 10, 8},
+		{1000, 10000, 10, 4},
+		{600000, 100000, 10, 2},
+		{600000, 100000, 20, 2},
+	} {
+		comm.Rows = append(comm.Rows, []string{
+			fmt.Sprintf("%d", c.v), fmt.Sprintf("%d", c.n),
+			fmt.Sprintf("%d", c.k), fmt.Sprintf("%d", c.m),
+			fmt.Sprintf("%.2f", theory.ExpectedCommunication(c.v, c.n, c.k, c.m)),
+		})
+	}
+	f.Panels = append(f.Panels, comm)
+	return f
+}
+
+// GiantComponentFigure demonstrates the α<1 mixing regime of Section 5.1:
+// raising the cross-topic mixing probability grows one giant component,
+// the condition under which plain DS degrades and the DS+split hybrid
+// (Section 8.3) recovers balance.
+func GiantComponentFigure(minutes float64, seed int64) *Figure {
+	f := &Figure{ID: "Mixing", Title: "Giant component vs cross-topic mixing (Section 5.1)"}
+	panel := Panel{
+		Title:  "5-minute window",
+		Header: []string{"mix prob", "#components", "max tags%", "max load%", "DS Gini", "DS+split Gini"},
+	}
+	for _, mix := range []float64{0, 0.003, 0.03, 0.3} {
+		cfg := twitgen.Default()
+		cfg.Seed = seed
+		cfg.MixProb = mix
+		g, err := twitgen.New(cfg, tagset.NewDictionary())
+		if err != nil {
+			panic(err)
+		}
+		limit := stream.Minutes(minutes)
+		var docs []stream.Document
+		for {
+			d := g.Next()
+			if d.Time >= limit {
+				break
+			}
+			docs = append(docs, d)
+		}
+		st := graph.WindowStats(docs)
+		w := stream.NewSlidingWindow(limit)
+		for _, d := range docs {
+			w.Add(d)
+		}
+		snap := w.Snapshot()
+		ds, err := partition.Build(snap, partition.Options{Algorithm: partition.DS, K: 10})
+		if err != nil {
+			panic(err)
+		}
+		hy, err := partition.Build(snap, partition.Options{Algorithm: partition.DSHybrid, K: 10})
+		if err != nil {
+			panic(err)
+		}
+		panel.Rows = append(panel.Rows, []string{
+			fmt.Sprintf("%.3f", mix),
+			fmt.Sprintf("%d", st.Components),
+			fmt.Sprintf("%.1f", 100*st.MaxTagsShare),
+			fmt.Sprintf("%.1f", 100*st.MaxLoadShare),
+			fmt.Sprintf("%.3f", partition.Evaluate(ds, snap).Gini),
+			fmt.Sprintf("%.3f", partition.Evaluate(hy, snap).Gini),
+		})
+	}
+	f.Panels = append(f.Panels, panel)
+	return f
+}
+
+func pick(shares []float64, i int) string {
+	if i >= len(shares) {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", shares[i])
+}
+
+func marksSummary(marks []float64) string {
+	if len(marks) == 0 {
+		return "none"
+	}
+	if len(marks) <= 4 {
+		out := ""
+		for i, m := range marks {
+			if i > 0 {
+				out += ", "
+			}
+			out += fmt.Sprintf("%.0fk", m/1000)
+		}
+		return out
+	}
+	return fmt.Sprintf("%d positions, first %.0fk last %.0fk",
+		len(marks), marks[0]/1000, marks[len(marks)-1]/1000)
+}
+
+// decimate thins a series to at most max evenly-spaced samples, always
+// keeping the first and last.
+func decimate[T any](points []T, max int) []T {
+	if len(points) <= max || max < 2 {
+		return points
+	}
+	out := make([]T, 0, max)
+	step := float64(len(points)-1) / float64(max-1)
+	for i := 0; i < max; i++ {
+		out = append(out, points[int(float64(i)*step)])
+	}
+	return out
+}

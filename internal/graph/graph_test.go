@@ -1,0 +1,184 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/stream"
+	"repro/internal/tagset"
+)
+
+func ws(count int64, tags ...tagset.Tag) stream.WeightedSet {
+	return stream.WeightedSet{Tags: tagset.New(tags...), Count: count}
+}
+
+// The running example of Figure 1: six tagsets forming two components.
+func figure1() []stream.WeightedSet {
+	// Tags: 0=munich 1=beer 2=soccer 3=pizza 4=oktoberfest 5=bavaria
+	//       6=beach 7=sunny 8=friday
+	return []stream.WeightedSet{
+		ws(10, 0, 1, 2), // {munich,beer,soccer}
+		ws(4, 1, 3),     // {beer,pizza}
+		ws(3, 0, 4),     // {munich,oktoberfest}
+		ws(2, 5, 2),     // {bavaria,soccer}
+		ws(1, 6, 7),     // {beach,sunny}
+		ws(1, 8, 7),     // {friday,sunny}
+	}
+}
+
+func TestComponentsFigure1(t *testing.T) {
+	comps := Components(figure1())
+	if len(comps) != 2 {
+		t.Fatalf("got %d components, want 2", len(comps))
+	}
+	// Sorted by load descending: the big beer/munich component first.
+	big, small := comps[0], comps[1]
+	if big.Load != 19 {
+		t.Errorf("big component load = %d, want 19", big.Load)
+	}
+	if !big.Tags.Equal(tagset.New(0, 1, 2, 3, 4, 5)) {
+		t.Errorf("big component tags = %v", big.Tags)
+	}
+	if big.Sets != 4 {
+		t.Errorf("big component sets = %d, want 4", big.Sets)
+	}
+	if small.Load != 2 {
+		t.Errorf("small component load = %d, want 2", small.Load)
+	}
+	if !small.Tags.Equal(tagset.New(6, 7, 8)) {
+		t.Errorf("small component tags = %v", small.Tags)
+	}
+	// The paper's 86%/14% split (19/21 vs 2/21 ≈ 90/10 with our weights —
+	// the exact paper weights use edge weights; check proportionality only).
+	if big.Load <= small.Load {
+		t.Error("big component should dominate load")
+	}
+}
+
+func TestComponentsEmptyAndSingle(t *testing.T) {
+	if got := Components(nil); len(got) != 0 {
+		t.Errorf("Components(nil) = %v", got)
+	}
+	comps := Components([]stream.WeightedSet{ws(5, 9)})
+	if len(comps) != 1 || comps[0].Load != 5 || comps[0].Tags.Len() != 1 {
+		t.Errorf("single = %+v", comps)
+	}
+	// Empty tagsets are ignored.
+	comps = Components([]stream.WeightedSet{{Tags: nil, Count: 3}})
+	if len(comps) != 0 {
+		t.Errorf("empty tagset produced components: %v", comps)
+	}
+}
+
+func TestComponentsTransitivity(t *testing.T) {
+	// a-b, b-c, c-d chains into one component even though a,d never co-occur.
+	comps := Components([]stream.WeightedSet{ws(1, 1, 2), ws(1, 2, 3), ws(1, 3, 4)})
+	if len(comps) != 1 {
+		t.Fatalf("got %d components, want 1", len(comps))
+	}
+	if !comps[0].Tags.Equal(tagset.New(1, 2, 3, 4)) {
+		t.Errorf("tags = %v", comps[0].Tags)
+	}
+	if comps[0].Load != 3 || comps[0].Sets != 3 {
+		t.Errorf("load=%d sets=%d", comps[0].Load, comps[0].Sets)
+	}
+}
+
+func doc(id uint64, tags ...tagset.Tag) stream.Document {
+	return stream.Document{ID: id, Tags: tagset.New(tags...)}
+}
+
+func TestWindowStats(t *testing.T) {
+	docs := []stream.Document{
+		doc(1, 1, 2),
+		doc(2, 2, 3),
+		doc(3, 4, 5),
+		doc(4, 4, 5),
+		doc(5), // no tags; ignored
+	}
+	st := WindowStats(docs)
+	if st.Components != 2 {
+		t.Errorf("Components = %d, want 2", st.Components)
+	}
+	if st.Tags != 5 {
+		t.Errorf("Tags = %d, want 5", st.Tags)
+	}
+	if st.Documents != 4 {
+		t.Errorf("Documents = %d, want 4", st.Documents)
+	}
+	if st.LargestTags != 3 {
+		t.Errorf("LargestTags = %d, want 3", st.LargestTags)
+	}
+	if st.MaxTagsShare != 0.6 {
+		t.Errorf("MaxTagsShare = %g, want 0.6", st.MaxTagsShare)
+	}
+	if st.MaxLoadShare != 0.5 {
+		t.Errorf("MaxLoadShare = %g, want 0.5 (either component)", st.MaxLoadShare)
+	}
+	if st.DistinctPairs != 3 { // {1,2},{2,3},{4,5}
+		t.Errorf("DistinctPairs = %d, want 3", st.DistinctPairs)
+	}
+}
+
+func TestWindowStatsEmpty(t *testing.T) {
+	st := WindowStats(nil)
+	if st.Components != 0 || st.MaxTagsShare != 0 || st.MaxLoadShare != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+}
+
+// Property: component loads sum to total documents; tags partition exactly.
+func TestQuickComponentsPartition(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(50)
+		sets := make([]stream.WeightedSet, n)
+		var totalLoad int64
+		for i := range sets {
+			k := 1 + r.Intn(4)
+			tags := make([]tagset.Tag, k)
+			for j := range tags {
+				tags[j] = tagset.Tag(r.Intn(30))
+			}
+			c := int64(1 + r.Intn(5))
+			sets[i] = stream.WeightedSet{Tags: tagset.New(tags...), Count: c}
+			totalLoad += c
+		}
+		comps := Components(sets)
+		var loadSum int64
+		seen := make(map[tagset.Tag]bool)
+		for _, c := range comps {
+			loadSum += c.Load
+			for _, tg := range c.Tags {
+				if seen[tg] {
+					t.Fatalf("tag %d in two components", tg)
+				}
+				seen[tg] = true
+			}
+		}
+		if loadSum != totalLoad {
+			t.Fatalf("component loads %d != total %d", loadSum, totalLoad)
+		}
+		// Every input tagset must be fully inside one component.
+		for _, s := range sets {
+			found := false
+			for _, c := range comps {
+				if s.Tags.SubsetOf(c.Tags) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("tagset %v split across components", s.Tags)
+			}
+		}
+		// Components are connected: no two components may be mergeable via
+		// any input tagset (guaranteed by the subset check above) and order
+		// is by descending load.
+		for i := 1; i < len(comps); i++ {
+			if comps[i].Load > comps[i-1].Load {
+				t.Fatal("components not sorted by load")
+			}
+		}
+	}
+}

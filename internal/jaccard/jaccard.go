@@ -1,0 +1,194 @@
+// Package jaccard implements the correlation measure of the paper: the
+// Jaccard coefficient of a set of tags, defined as the ratio of the number
+// of documents annotated with all of the set's tags to the number annotated
+// with any of them (Section 3.1, Eq. 1).
+//
+// A CounterTable maintains, per observed tagset, the count of documents
+// containing all of the tagset's tags — exactly the state a Calculator
+// keeps. The denominator (documents containing any tag) is derived by the
+// inclusion–exclusion principle (Eq. 2) from the counters of all non-empty
+// subsets, which exist by construction because every received document
+// increments every subset of its (partition-restricted) tagset.
+//
+// The same table fed with unrestricted tagsets is the exact centralized
+// baseline of Section 8.2.3.
+package jaccard
+
+import (
+	"sort"
+
+	"repro/internal/tagset"
+)
+
+// Coefficient is one reported correlation: the tagset, its Jaccard value,
+// and the intersection counter CN it was computed from (the Tracker uses CN
+// to pick among duplicate reports, Section 6.2).
+type Coefficient struct {
+	Tags tagset.Set
+	J    float64
+	CN   int64
+}
+
+// CounterTable counts, for every subset of every observed tagset, the number
+// of observations containing that subset. It is not safe for concurrent use;
+// each Calculator owns one.
+type CounterTable struct {
+	counts map[tagset.Key]int64
+	docs   int64
+}
+
+// NewCounterTable returns an empty table.
+func NewCounterTable() *CounterTable {
+	return &CounterTable{counts: make(map[tagset.Key]int64)}
+}
+
+// Observe records one document carrying tagset s, incrementing the counter
+// of every non-empty subset of s. Empty sets are ignored.
+func (ct *CounterTable) Observe(s tagset.Set) {
+	if s.IsEmpty() {
+		return
+	}
+	ct.docs++
+	s.Subsets(1, func(sub tagset.Set) {
+		ct.counts[sub.Key()]++
+	})
+}
+
+// Docs reports the number of observed documents.
+func (ct *CounterTable) Docs() int64 { return ct.docs }
+
+// Counters reports the number of live subset counters.
+func (ct *CounterTable) Counters() int { return len(ct.counts) }
+
+// Count returns the number of observed documents containing all tags of s
+// (zero if the combination was never seen).
+func (ct *CounterTable) Count(s tagset.Set) int64 {
+	return ct.counts[s.Key()]
+}
+
+// UnionCount returns the number of observed documents containing any tag of
+// s, by inclusion–exclusion over the subset counters (Eq. 2).
+func (ct *CounterTable) UnionCount(s tagset.Set) int64 {
+	var total int64
+	s.Subsets(1, func(sub tagset.Set) {
+		c := ct.counts[sub.Key()]
+		if sub.Len()%2 == 1 {
+			total += c
+		} else {
+			total -= c
+		}
+	})
+	return total
+}
+
+// Jaccard returns the coefficient for s and whether it is defined (the
+// denominator is positive and s has at least two tags).
+func (ct *CounterTable) Jaccard(s tagset.Set) (float64, bool) {
+	if s.Len() < 2 {
+		return 0, false
+	}
+	inter := ct.counts[s.Key()]
+	if inter == 0 {
+		return 0, false
+	}
+	union := ct.UnionCount(s)
+	if union <= 0 {
+		return 0, false
+	}
+	return float64(inter) / float64(union), true
+}
+
+// Coefficients computes the Jaccard coefficient for every tracked tagset of
+// at least two tags whose intersection counter is at least minCN. This is
+// the Calculator's periodic report (Section 6.2): the "maximum possible
+// number of Jaccard coefficients" from the current counters. Results are
+// sorted by descending J, ties broken by the tagset key for determinism.
+func (ct *CounterTable) Coefficients(minCN int64) []Coefficient {
+	if minCN < 1 {
+		minCN = 1
+	}
+	out := make([]Coefficient, 0, len(ct.counts)/2)
+	for k, cn := range ct.counts {
+		if cn < minCN || k.Len() < 2 {
+			continue
+		}
+		s := k.Set()
+		union := ct.UnionCount(s)
+		if union <= 0 {
+			continue
+		}
+		out = append(out, Coefficient{Tags: s, J: float64(cn) / float64(union), CN: cn})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].J != out[j].J {
+			return out[i].J > out[j].J
+		}
+		return out[i].Tags.Key() < out[j].Tags.Key()
+	})
+	return out
+}
+
+// Reset deletes all counters, as the Calculator does after each report.
+func (ct *CounterTable) Reset() {
+	ct.counts = make(map[tagset.Key]int64)
+	ct.docs = 0
+}
+
+// Centralized is the exact single-node baseline: it observes every document
+// unrestricted and reports coefficients for tagsets seen at least minCN
+// times. The distributed pipeline's accuracy (Figure 5) is measured against
+// it.
+type Centralized struct {
+	table *CounterTable
+}
+
+// NewCentralized returns an empty baseline calculator.
+func NewCentralized() *Centralized {
+	return &Centralized{table: NewCounterTable()}
+}
+
+// Observe records one document's full tagset.
+func (c *Centralized) Observe(s tagset.Set) { c.table.Observe(s) }
+
+// Table exposes the underlying counter table (read-only use).
+func (c *Centralized) Table() *CounterTable { return c.table }
+
+// Report returns the exact coefficients for all tagsets with counter >=
+// minCN, and resets the table for the next reporting period.
+func (c *Centralized) Report(minCN int64) []Coefficient {
+	out := c.table.Coefficients(minCN)
+	c.table.Reset()
+	return out
+}
+
+// CompareReports matches a distributed report against the baseline and
+// returns the mean absolute Jaccard error over baseline tagsets that the
+// distributed run also reported, together with the coverage (fraction of
+// baseline tagsets that received any coefficient) — the two quantities of
+// Section 8.2.3.
+func CompareReports(baseline, distributed []Coefficient) (meanAbsErr, coverage float64) {
+	if len(baseline) == 0 {
+		return 0, 1
+	}
+	dist := make(map[tagset.Key]float64, len(distributed))
+	for _, c := range distributed {
+		dist[c.Tags.Key()] = c.J
+	}
+	var errSum float64
+	matched := 0
+	for _, b := range baseline {
+		if j, ok := dist[b.Tags.Key()]; ok {
+			d := j - b.J
+			if d < 0 {
+				d = -d
+			}
+			errSum += d
+			matched++
+		}
+	}
+	coverage = float64(matched) / float64(len(baseline))
+	if matched > 0 {
+		meanAbsErr = errSum / float64(matched)
+	}
+	return meanAbsErr, coverage
+}

@@ -1,0 +1,223 @@
+package jaccard
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tagset"
+)
+
+func TestObserveCounts(t *testing.T) {
+	ct := NewCounterTable()
+	ct.Observe(tagset.New(1, 2))
+	ct.Observe(tagset.New(1, 2))
+	ct.Observe(tagset.New(1))
+	if ct.Docs() != 3 {
+		t.Errorf("Docs = %d", ct.Docs())
+	}
+	if got := ct.Count(tagset.New(1)); got != 3 {
+		t.Errorf("count({1}) = %d, want 3", got)
+	}
+	if got := ct.Count(tagset.New(2)); got != 2 {
+		t.Errorf("count({2}) = %d, want 2", got)
+	}
+	if got := ct.Count(tagset.New(1, 2)); got != 2 {
+		t.Errorf("count({1,2}) = %d, want 2", got)
+	}
+	if got := ct.Count(tagset.New(3)); got != 0 {
+		t.Errorf("count({3}) = %d, want 0", got)
+	}
+	ct.Observe(nil) // ignored
+	if ct.Docs() != 3 {
+		t.Error("empty set counted")
+	}
+}
+
+func TestUnionCountInclusionExclusion(t *testing.T) {
+	ct := NewCounterTable()
+	// 3 docs: {1,2}, {1}, {2,3}
+	ct.Observe(tagset.New(1, 2))
+	ct.Observe(tagset.New(1))
+	ct.Observe(tagset.New(2, 3))
+	// |T1 ∪ T2| = docs containing 1 or 2 = all 3.
+	if got := ct.UnionCount(tagset.New(1, 2)); got != 3 {
+		t.Errorf("union({1,2}) = %d, want 3", got)
+	}
+	// |T1 ∪ T3| = {1,2},{1},{2,3} → docs with 1 or 3 = 3.
+	if got := ct.UnionCount(tagset.New(1, 3)); got != 3 {
+		t.Errorf("union({1,3}) = %d, want 3", got)
+	}
+	// |T2 ∪ T3| = docs with 2 or 3 = 2.
+	if got := ct.UnionCount(tagset.New(2, 3)); got != 2 {
+		t.Errorf("union({2,3}) = %d, want 2", got)
+	}
+	// Triple union over {1,2,3} = 3.
+	if got := ct.UnionCount(tagset.New(1, 2, 3)); got != 3 {
+		t.Errorf("union({1,2,3}) = %d, want 3", got)
+	}
+}
+
+func TestJaccardPaperStyle(t *testing.T) {
+	ct := NewCounterTable()
+	// 4 docs with {a,b}, 1 doc with {a}, 1 doc with {b}.
+	for i := 0; i < 4; i++ {
+		ct.Observe(tagset.New(10, 20))
+	}
+	ct.Observe(tagset.New(10))
+	ct.Observe(tagset.New(20))
+	j, ok := ct.Jaccard(tagset.New(10, 20))
+	if !ok {
+		t.Fatal("Jaccard undefined")
+	}
+	if math.Abs(j-4.0/6.0) > 1e-12 {
+		t.Errorf("J = %g, want 2/3", j)
+	}
+}
+
+func TestJaccardUndefinedCases(t *testing.T) {
+	ct := NewCounterTable()
+	ct.Observe(tagset.New(1))
+	if _, ok := ct.Jaccard(tagset.New(1)); ok {
+		t.Error("singleton should have no coefficient")
+	}
+	if _, ok := ct.Jaccard(tagset.New(1, 2)); ok {
+		t.Error("never co-occurring pair should have no coefficient")
+	}
+}
+
+func TestCoefficientsReport(t *testing.T) {
+	ct := NewCounterTable()
+	ct.Observe(tagset.New(1, 2))
+	ct.Observe(tagset.New(1, 2))
+	ct.Observe(tagset.New(1, 3))
+	coeffs := ct.Coefficients(1)
+	// Expect coefficients for {1,2} and {1,3} only (subsets of size >= 2
+	// with positive counters).
+	if len(coeffs) != 2 {
+		t.Fatalf("got %d coefficients: %v", len(coeffs), coeffs)
+	}
+	// {1,2}: inter 2, union 3 → 2/3. {1,3}: inter 1, union 3 → 1/3.
+	if coeffs[0].J < coeffs[1].J {
+		t.Error("not sorted by descending J")
+	}
+	if math.Abs(coeffs[0].J-2.0/3.0) > 1e-12 || coeffs[0].CN != 2 {
+		t.Errorf("top coefficient = %+v", coeffs[0])
+	}
+	// minCN filter.
+	if got := ct.Coefficients(2); len(got) != 1 {
+		t.Errorf("minCN=2 gave %d coefficients", len(got))
+	}
+}
+
+func TestReset(t *testing.T) {
+	ct := NewCounterTable()
+	ct.Observe(tagset.New(1, 2))
+	ct.Reset()
+	if ct.Docs() != 0 || ct.Counters() != 0 {
+		t.Error("Reset incomplete")
+	}
+	if got := ct.Count(tagset.New(1)); got != 0 {
+		t.Errorf("counter survived reset: %d", got)
+	}
+}
+
+func TestCentralizedReportResets(t *testing.T) {
+	c := NewCentralized()
+	c.Observe(tagset.New(1, 2))
+	c.Observe(tagset.New(1, 2))
+	rep := c.Report(1)
+	if len(rep) != 1 {
+		t.Fatalf("report = %v", rep)
+	}
+	if c.Table().Docs() != 0 {
+		t.Error("Report did not reset")
+	}
+}
+
+func TestCompareReports(t *testing.T) {
+	base := []Coefficient{
+		{Tags: tagset.New(1, 2), J: 0.5},
+		{Tags: tagset.New(3, 4), J: 0.8},
+		{Tags: tagset.New(5, 6), J: 0.2},
+	}
+	dist := []Coefficient{
+		{Tags: tagset.New(1, 2), J: 0.4}, // err 0.1
+		{Tags: tagset.New(3, 4), J: 0.8}, // err 0
+		// {5,6} missing → coverage 2/3
+	}
+	err, cov := CompareReports(base, dist)
+	if math.Abs(err-0.05) > 1e-12 {
+		t.Errorf("meanAbsErr = %g, want 0.05", err)
+	}
+	if math.Abs(cov-2.0/3.0) > 1e-12 {
+		t.Errorf("coverage = %g, want 2/3", cov)
+	}
+	// Edge cases.
+	if e, c := CompareReports(nil, dist); e != 0 || c != 1 {
+		t.Errorf("empty baseline: %g %g", e, c)
+	}
+	if _, c := CompareReports(base, nil); c != 0 {
+		t.Errorf("empty distributed coverage = %g", c)
+	}
+}
+
+// TestQuickJaccardAgainstBruteForce compares CounterTable values against a
+// direct document-set computation on random small streams.
+func TestQuickJaccardAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		ct := NewCounterTable()
+		var docs []tagset.Set
+		for i := 0; i < 60; i++ {
+			n := 1 + r.Intn(4)
+			tags := make([]tagset.Tag, n)
+			for j := range tags {
+				tags[j] = tagset.Tag(r.Intn(8))
+			}
+			s := tagset.New(tags...)
+			docs = append(docs, s)
+			ct.Observe(s)
+		}
+		// Brute force for random query sets.
+		for q := 0; q < 20; q++ {
+			n := 2 + r.Intn(3)
+			tags := make([]tagset.Tag, n)
+			for j := range tags {
+				tags[j] = tagset.Tag(r.Intn(8))
+			}
+			query := tagset.New(tags...)
+			if query.Len() < 2 {
+				continue
+			}
+			var inter, union int64
+			for _, d := range docs {
+				if query.SubsetOf(d) {
+					inter++
+				}
+				if query.Intersects(d) {
+					union++
+				}
+			}
+			if got := ct.Count(query); got != inter {
+				t.Fatalf("Count(%v) = %d, brute force %d", query, got, inter)
+			}
+			if got := ct.UnionCount(query); got != union {
+				t.Fatalf("UnionCount(%v) = %d, brute force %d", query, got, union)
+			}
+			j, ok := ct.Jaccard(query)
+			if ok != (inter > 0) {
+				t.Fatalf("Jaccard(%v) defined=%v, want %v", query, ok, inter > 0)
+			}
+			if ok {
+				want := float64(inter) / float64(union)
+				if math.Abs(j-want) > 1e-12 {
+					t.Fatalf("Jaccard(%v) = %g, want %g", query, j, want)
+				}
+				if j < 0 || j > 1 {
+					t.Fatalf("Jaccard out of range: %g", j)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package metrics implements the statistical measures of the paper's
+// evaluation: the Gini coefficient of per-node processing load (Section
+// 8.2.2), average communication (Section 8.2.1), and generic mean/variance
+// plus time-series recording used by the figure-over-time experiments.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Gini returns the Gini coefficient of the given non-negative values,
+// the paper's measure of load dispersion (Section 8.2.2). It is 0 for a
+// perfectly balanced distribution and approaches 1-1/n for the case where a
+// single node carries all the load. It returns 0 for empty input or when all
+// values are zero.
+func Gini(values []float64) float64 {
+	n := len(values)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]float64, n)
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	var sum, weighted float64
+	for i, v := range sorted {
+		sum += v
+		weighted += float64(i+1) * v
+	}
+	if sum == 0 {
+		return 0
+	}
+	// G = (2 * sum_i i*x_(i) ) / (n * sum x) - (n+1)/n with x sorted ascending.
+	return 2*weighted/(float64(n)*sum) - float64(n+1)/float64(n)
+}
+
+// GiniInts is Gini for integer counts.
+func GiniInts(counts []int64) float64 {
+	vals := make([]float64, len(counts))
+	for i, c := range counts {
+		vals[i] = float64(c)
+	}
+	return Gini(vals)
+}
+
+// Lorenz returns the Lorenz curve of the values: point i is the cumulative
+// share of the smallest i+1 values. The curve underlies the Gini definition
+// the paper cites.
+func Lorenz(values []float64) []float64 {
+	n := len(values)
+	if n == 0 {
+		return nil
+	}
+	sorted := make([]float64, n)
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	out := make([]float64, n)
+	total := 0.0
+	for _, v := range sorted {
+		total += v
+	}
+	if total == 0 {
+		return out
+	}
+	cum := 0.0
+	for i, v := range sorted {
+		cum += v
+		out[i] = cum / total
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean, or 0 for empty input.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range values {
+		s += v
+	}
+	return s / float64(len(values))
+}
+
+// Variance returns the population variance, or 0 for fewer than two values.
+func Variance(values []float64) float64 {
+	if len(values) < 2 {
+		return 0
+	}
+	m := Mean(values)
+	s := 0.0
+	for _, v := range values {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(len(values))
+}
+
+// MaxShare returns the largest value's share of the total, the paper's
+// maxLoad quality statistic (Section 7.2). It returns 0 when the total is 0.
+func MaxShare(values []float64) float64 {
+	total, max := 0.0, 0.0
+	for _, v := range values {
+		total += v
+		if v > max {
+			max = v
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return max / total
+}
+
+// MaxShareInts is MaxShare for integer counts.
+func MaxShareInts(counts []int64) float64 {
+	vals := make([]float64, len(counts))
+	for i, c := range counts {
+		vals[i] = float64(c)
+	}
+	return MaxShare(vals)
+}
+
+// Welford accumulates a running mean and variance without storing samples.
+// The zero value is ready for use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean (0 before any observation).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the running population variance.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// Stddev returns the running population standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }
+
+// Reset clears the accumulator.
+func (w *Welford) Reset() { *w = Welford{} }
+
+// Point is one sample of a recorded time series.
+type Point struct {
+	X float64 // typically processed documents or virtual time
+	Y float64
+}
+
+// Series records a metric over the run, as used by the "over time" plots
+// (Figures 8 and 9). Marks record X positions of events (repartitions).
+type Series struct {
+	Name   string
+	Points []Point
+	Marks  []float64
+}
+
+// Record appends a sample.
+func (s *Series) Record(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
+
+// Mark appends an event marker (e.g. a repartition) at position x.
+func (s *Series) Mark(x float64) { s.Marks = append(s.Marks, x) }
+
+// Len returns the number of recorded samples.
+func (s *Series) Len() int { return len(s.Points) }
+
+// MeanY returns the mean of the recorded Y values.
+func (s *Series) MeanY() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range s.Points {
+		sum += p.Y
+	}
+	return sum / float64(len(s.Points))
+}
+
+// MinY and MaxY return the extremes of the recorded Y values (0 if empty).
+func (s *Series) MinY() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	m := s.Points[0].Y
+	for _, p := range s.Points[1:] {
+		if p.Y < m {
+			m = p.Y
+		}
+	}
+	return m
+}
+
+// MaxY returns the maximum recorded Y value (0 if empty).
+func (s *Series) MaxY() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	m := s.Points[0].Y
+	for _, p := range s.Points[1:] {
+		if p.Y > m {
+			m = p.Y
+		}
+	}
+	return m
+}

@@ -1,0 +1,158 @@
+package operators
+
+import (
+	"sort"
+
+	"repro/internal/jaccard"
+	"repro/internal/storm"
+	"repro/internal/stream"
+	"repro/internal/tagset"
+)
+
+// Calculator counts the subsets of the notifications it receives and, at
+// every reporting boundary (y time units, Section 6.2), computes the
+// maximum possible number of Jaccard coefficients from its counters, emits
+// them to the Tracker, and deletes the counters.
+//
+// Calculators are oblivious to the partitions: they infer the tagsets to
+// track purely from the notifications (Section 6.2). Reporting boundaries
+// are aligned to multiples of ReportEvery so that all Calculators report
+// the same periods and the Tracker can deduplicate.
+type Calculator struct {
+	cfg   Config
+	ctx   *storm.TaskContext
+	table *jaccard.CounterTable
+
+	boundary stream.Millis // exclusive end of the current period
+	hasData  bool
+
+	// Reports counts emitted reporting rounds; Observed counts received
+	// notifications.
+	Reports  int
+	Observed int64
+}
+
+// NewCalculator returns a Calculator bolt.
+func NewCalculator(cfg Config) *Calculator {
+	return &Calculator{cfg: cfg, table: jaccard.NewCounterTable()}
+}
+
+// Prepare implements storm.Bolt.
+func (c *Calculator) Prepare(ctx *storm.TaskContext) { c.ctx = ctx }
+
+// Execute implements storm.Bolt.
+func (c *Calculator) Execute(t storm.Tuple, out storm.Collector) {
+	msg := t.Values[0].(NotifyMsg)
+	if !c.hasData {
+		c.boundary = alignUp(msg.Time, c.cfg.ReportEvery)
+		c.hasData = true
+	}
+	for msg.Time >= c.boundary {
+		c.flush(out)
+		c.boundary += c.cfg.ReportEvery
+	}
+	c.table.Observe(msg.Tags)
+	c.Observed++
+}
+
+// Cleanup flushes the final partial period.
+func (c *Calculator) Cleanup(out storm.Collector) {
+	if c.hasData && c.table.Docs() > 0 {
+		c.flush(out)
+	}
+}
+
+func (c *Calculator) flush(out storm.Collector) {
+	coeffs := c.table.Coefficients(1)
+	period := int64(c.boundary / c.cfg.ReportEvery)
+	for _, co := range coeffs {
+		out.Emit(storm.Tuple{Stream: StreamCoeff, Values: []interface{}{
+			CoeffMsg{Period: period, Coeff: co},
+		}})
+	}
+	if len(coeffs) > 0 || c.table.Docs() > 0 {
+		c.Reports++
+	}
+	c.table.Reset()
+}
+
+// alignUp returns the smallest multiple of step strictly greater than t.
+func alignUp(t, step stream.Millis) stream.Millis {
+	return (t/step + 1) * step
+}
+
+// Tracker collects the Jaccard coefficients from all Calculators. When the
+// same tagset is reported by multiple Calculators in one period (tags
+// replicated across partitions), it keeps the coefficient with the largest
+// counter CN — the longest-tracked one (Section 6.2).
+type Tracker struct {
+	periods map[int64]map[tagset.Key]jaccard.Coefficient
+
+	// Received counts all incoming coefficients; Duplicates counts those
+	// that collided with an existing report for the same tagset and period.
+	Received   int64
+	Duplicates int64
+}
+
+// NewTracker returns a Tracker bolt.
+func NewTracker() *Tracker {
+	return &Tracker{periods: make(map[int64]map[tagset.Key]jaccard.Coefficient)}
+}
+
+// Prepare implements storm.Bolt.
+func (tr *Tracker) Prepare(*storm.TaskContext) {}
+
+// Execute implements storm.Bolt.
+func (tr *Tracker) Execute(t storm.Tuple, _ storm.Collector) {
+	msg := t.Values[0].(CoeffMsg)
+	tr.Received++
+	m := tr.periods[msg.Period]
+	if m == nil {
+		m = make(map[tagset.Key]jaccard.Coefficient)
+		tr.periods[msg.Period] = m
+	}
+	k := msg.Coeff.Tags.Key()
+	if prev, ok := m[k]; ok {
+		tr.Duplicates++
+		if msg.Coeff.CN <= prev.CN {
+			return
+		}
+	}
+	m[k] = msg.Coeff
+}
+
+// Periods returns the reporting period ids in ascending order.
+func (tr *Tracker) Periods() []int64 {
+	out := make([]int64, 0, len(tr.periods))
+	for p := range tr.periods {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Report returns the deduplicated coefficients of one period, sorted by
+// descending J.
+func (tr *Tracker) Report(period int64) []jaccard.Coefficient {
+	m := tr.periods[period]
+	out := make([]jaccard.Coefficient, 0, len(m))
+	for _, c := range m {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].J != out[j].J {
+			return out[i].J > out[j].J
+		}
+		return out[i].Tags.Key() < out[j].Tags.Key()
+	})
+	return out
+}
+
+// All returns every deduplicated coefficient across periods.
+func (tr *Tracker) All() []jaccard.Coefficient {
+	var out []jaccard.Coefficient
+	for _, p := range tr.Periods() {
+		out = append(out, tr.Report(p)...)
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+// Package operators implements the paper's operator topology (Figure 2,
+// Sections 3, 6.2 and 7) on top of the storm substrate:
+//
+//	Source ─shuffle→ Parser ─shuffle→ Disseminator ─direct→ Calculator ─→ Tracker
+//	                   └─fields→ Partitioner ─→ Merger ─all→ Disseminator
+//	 Disseminator ─all→ Partitioner (repartition requests)
+//	 Disseminator ─→ Merger (Single-Addition requests)
+//	 Merger ─all→ Disseminator (partitions, Single-Addition results)
+//
+// Tuples carry one typed message in Values[0]; the Stream field names the
+// logical stream.
+package operators
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/jaccard"
+	"repro/internal/partition"
+	"repro/internal/storm"
+	"repro/internal/stream"
+	"repro/internal/tagset"
+)
+
+// Stream names used by the topology.
+const (
+	StreamDoc         = "doc"         // Parser → Disseminator, Partitioner
+	StreamPartial     = "partial"     // Partitioner → Merger
+	StreamPartitions  = "partitions"  // Merger → Disseminator
+	StreamRepartition = "repartition" // Disseminator → Partitioner
+	StreamAddition    = "addition"    // Disseminator → Merger
+	StreamAdditionRes = "addition-r"  // Merger → Disseminator
+	StreamNotify      = "notify"      // Disseminator → Calculator
+	StreamCoeff       = "coeff"       // Calculator → Tracker
+)
+
+// DocMsg is a parsed document: arrival time plus its canonical tagset.
+type DocMsg struct {
+	Time stream.Millis
+	Tags tagset.Set
+}
+
+// PartialMsg is one Partitioner's contribution to a repartition epoch: the
+// disjoint sets (DS) or locally-built partitions (set-cover algorithms) of
+// its window, each flattened to a weighted tagset.
+type PartialMsg struct {
+	Epoch int
+	Sets  []stream.WeightedSet
+}
+
+// PartitionsMsg announces freshly merged partitions together with the
+// reference quality statistics the Disseminators monitor against
+// (Section 7.2).
+type PartitionsMsg struct {
+	Epoch   int
+	Parts   []partition.Partition
+	Quality partition.Quality
+}
+
+// AdditionReq asks the Merger to place an uncovered tagset (Section 7.1).
+type AdditionReq struct {
+	Tags tagset.Set
+}
+
+// AdditionRes tells every Disseminator which partition (Calculator index)
+// an added tagset went to.
+type AdditionRes struct {
+	Tags tagset.Set
+	Part int
+}
+
+// RepartitionReq asks the Partitioners for fresh partitions.
+type RepartitionReq struct {
+	Epoch int
+}
+
+// NotifyMsg is a notification to one Calculator: the subset of a document's
+// tags that the Calculator is assigned.
+type NotifyMsg struct {
+	Time stream.Millis
+	Tags tagset.Set
+}
+
+// CoeffMsg is a reported Jaccard coefficient with its reporting period.
+type CoeffMsg struct {
+	Period int64
+	Coeff  jaccard.Coefficient
+}
+
+// Config carries the paper's experiment parameters (Section 8.1).
+type Config struct {
+	K         int                 // partitions / Calculators
+	P         int                 // Partitioner instances
+	Algorithm partition.Algorithm // DS, SCC, SCL or SCI
+	Thr       float64             // repartition threshold (0.2 or 0.5)
+
+	SN          int           // Single-Addition occurrence threshold (paper: 3)
+	StatsEvery  int           // quality statistics batch size z (paper: 1000)
+	ReportEvery stream.Millis // Calculator reporting period y (paper: 5 min)
+	WindowSpan  stream.Millis // Partitioner window W (paper: 5 min)
+	MaxTags     int           // Parser tag cap (paper observes < 10)
+	Seed        int64         // SCI randomness
+
+	Parsers       int // Parser instances (paper experiments: 1)
+	Disseminators int // Disseminator instances (paper experiments: 1)
+
+	// WindowCount switches the Partitioners to a count-based sliding
+	// window of the given capacity instead of the time-based WindowSpan
+	// (Section 6.2 allows either).
+	WindowCount int
+
+	// AutoScaleLoad enables topology scaling (Section 7.3): when > 0 the
+	// Merger sizes the number of active partitions as
+	// ceil(windowLoad / AutoScaleLoad), capped at K. Only Calculators
+	// assigned a partition are indexed by the Disseminators and receive
+	// documents; the rest idle.
+	AutoScaleLoad int64
+
+	// CalibrateRefs replaces the Merger's partition-level reference
+	// quality with the first statistics batch measured on live traffic
+	// after each install. The paper's design (and the default) uses the
+	// Merger's values, which are optimistic for the set-cover algorithms —
+	// every merged pseudo-tagset is fully covered by its own partition —
+	// and therefore trip repartitions readily, matching the high
+	// repartition counts of Figure 6.
+	CalibrateRefs bool
+}
+
+// DefaultConfig returns the paper's default parameter setting: P=10, k=10,
+// thr=0.5, sn=3, z=1000, 5-minute reporting and windows.
+func DefaultConfig() Config {
+	return Config{
+		K:           10,
+		P:           10,
+		Algorithm:   partition.DS,
+		Thr:         0.5,
+		SN:          3,
+		StatsEvery:  1000,
+		ReportEvery: stream.Minutes(5),
+		WindowSpan:  stream.Minutes(5),
+		MaxTags:     10,
+		Seed:        1,
+
+		Parsers:       1,
+		Disseminators: 1,
+	}
+}
+
+// Validate reports the first configuration error, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.K < 1:
+		return fmt.Errorf("operators: K = %d", c.K)
+	case c.P < 1:
+		return fmt.Errorf("operators: P = %d", c.P)
+	case !c.Algorithm.Valid():
+		return fmt.Errorf("operators: algorithm %q", c.Algorithm)
+	case c.Thr < 0:
+		return fmt.Errorf("operators: thr = %g", c.Thr)
+	case c.SN < 1:
+		return fmt.Errorf("operators: sn = %d", c.SN)
+	case c.StatsEvery < 1:
+		return fmt.Errorf("operators: statsEvery = %d", c.StatsEvery)
+	case c.ReportEvery <= 0:
+		return fmt.Errorf("operators: reportEvery = %d", c.ReportEvery)
+	case c.WindowSpan <= 0:
+		return fmt.Errorf("operators: windowSpan = %d", c.WindowSpan)
+	case c.MaxTags < 1:
+		return fmt.Errorf("operators: maxTags = %d", c.MaxTags)
+	case c.Parsers < 1:
+		return fmt.Errorf("operators: parsers = %d", c.Parsers)
+	case c.Disseminators < 1:
+		return fmt.Errorf("operators: disseminators = %d", c.Disseminators)
+	case c.WindowCount < 0:
+		return fmt.Errorf("operators: windowCount = %d", c.WindowCount)
+	case c.AutoScaleLoad < 0:
+		return fmt.Errorf("operators: autoScaleLoad = %d", c.AutoScaleLoad)
+	}
+	return nil
+}
+
+// TagsetKey hashes a document's full tagset for fields grouping, so equal
+// tagsets always reach the same Partitioner instance (Section 6.2).
+func TagsetKey(t storm.Tuple) uint64 {
+	msg := t.Values[0].(DocMsg)
+	h := fnv.New64a()
+	h.Write([]byte(msg.Tags.Key()))
+	return h.Sum64()
+}
+
+// Source adapts any document iterator (generator, slice, JSONL reader) to a
+// storm spout. The next function returns false when the stream ends.
+type Source struct {
+	next func() (stream.Document, bool)
+}
+
+// NewSource wraps next into a spout.
+func NewSource(next func() (stream.Document, bool)) *Source {
+	return &Source{next: next}
+}
+
+// SliceSource returns a Source over a fixed document slice.
+func SliceSource(docs []stream.Document) *Source {
+	i := 0
+	return NewSource(func() (stream.Document, bool) {
+		if i >= len(docs) {
+			return stream.Document{}, false
+		}
+		d := docs[i]
+		i++
+		return d, true
+	})
+}
+
+// Open implements storm.Spout.
+func (s *Source) Open(*storm.TaskContext) {}
+
+// NextTuple implements storm.Spout.
+func (s *Source) NextTuple(out storm.Collector) bool {
+	d, ok := s.next()
+	if !ok {
+		return false
+	}
+	out.Emit(storm.Tuple{Stream: StreamDoc, Values: []interface{}{DocMsg{Time: d.Time, Tags: d.Tags}}})
+	return true
+}
+
+// Parser extracts canonical tagsets from raw documents: untagged documents
+// are dropped and oversized tagsets truncated to MaxTags (Section 6.2; the
+// paper notes tweets carry fewer than 10 tags).
+type Parser struct {
+	MaxTags int
+	Dropped int64 // untagged documents discarded
+}
+
+// NewParser returns a parser with the given tag cap.
+func NewParser(maxTags int) *Parser { return &Parser{MaxTags: maxTags} }
+
+// Prepare implements storm.Bolt.
+func (p *Parser) Prepare(*storm.TaskContext) {}
+
+// Execute implements storm.Bolt.
+func (p *Parser) Execute(t storm.Tuple, out storm.Collector) {
+	msg := t.Values[0].(DocMsg)
+	if msg.Tags.IsEmpty() {
+		p.Dropped++
+		return
+	}
+	if msg.Tags.Len() > p.MaxTags {
+		msg.Tags = tagset.New(msg.Tags[:p.MaxTags]...)
+	}
+	out.Emit(storm.Tuple{Stream: StreamDoc, Values: []interface{}{msg}})
+}

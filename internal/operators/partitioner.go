@@ -1,0 +1,224 @@
+package operators
+
+import (
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/storm"
+	"repro/internal/stream"
+	"repro/internal/tagset"
+)
+
+// Partitioner maintains a sliding window over the tagsets routed to it
+// (fields grouping on the whole tagset) and, on each repartition request,
+// contributes a partial result to the Merger (Section 6.2).
+//
+// For DS the Partitioner runs only the first phase of Algorithm 1 — it
+// emits its window's disjoint sets unmerged, so the Merger can union
+// overlapping sets from different Partitioners into true connected
+// components before packing them into k partitions. For the set-cover
+// algorithms it builds k local partitions, which the Merger treats as input
+// tagsets for the same algorithm.
+type Partitioner struct {
+	cfg    Config
+	window tagsetWindow
+	ctx    *storm.TaskContext
+
+	// Repartitions counts how many partial results this instance produced.
+	Repartitions int
+}
+
+// tagsetWindow abstracts the Partitioner's window: time-based or
+// count-based (Section 6.2).
+type tagsetWindow interface {
+	Add(stream.Document)
+	Len() int
+	Snapshot() []stream.WeightedSet
+}
+
+// NewPartitioner returns a Partitioner bolt for the given configuration,
+// using a count-based window when cfg.WindowCount is set and the time-based
+// WindowSpan otherwise.
+func NewPartitioner(cfg Config) *Partitioner {
+	var w tagsetWindow
+	if cfg.WindowCount > 0 {
+		w = stream.NewCountWindow(cfg.WindowCount)
+	} else {
+		w = stream.NewSlidingWindow(cfg.WindowSpan)
+	}
+	return &Partitioner{cfg: cfg, window: w}
+}
+
+// Prepare implements storm.Bolt.
+func (p *Partitioner) Prepare(ctx *storm.TaskContext) { p.ctx = ctx }
+
+// WindowLen reports the live window size (for tests and diagnostics).
+func (p *Partitioner) WindowLen() int { return p.window.Len() }
+
+// Execute implements storm.Bolt.
+func (p *Partitioner) Execute(t storm.Tuple, out storm.Collector) {
+	switch t.Stream {
+	case StreamDoc:
+		msg := t.Values[0].(DocMsg)
+		p.window.Add(stream.Document{Time: msg.Time, Tags: msg.Tags})
+	case StreamRepartition:
+		req := t.Values[0].(RepartitionReq)
+		p.emitPartial(req.Epoch, out)
+	}
+}
+
+func (p *Partitioner) emitPartial(epoch int, out storm.Collector) {
+	p.Repartitions++
+	snap := p.window.Snapshot()
+	var sets []stream.WeightedSet
+	switch p.cfg.Algorithm {
+	case partition.DS, partition.DSHybrid:
+		for _, c := range graph.Components(snap) {
+			sets = append(sets, stream.WeightedSet{Tags: c.Tags, Count: c.Load})
+		}
+	default:
+		res, err := partition.Build(snap, partition.Options{
+			Algorithm: p.cfg.Algorithm,
+			K:         p.cfg.K,
+			Seed:      p.cfg.Seed + int64(p.ctx.Index) + int64(epoch)*31,
+		})
+		if err != nil {
+			// Options are validated at pipeline construction; a failure here
+			// is a programming error.
+			panic(err)
+		}
+		for _, part := range res.Parts {
+			if part.Tags.IsEmpty() {
+				continue
+			}
+			sets = append(sets, stream.WeightedSet{Tags: part.Tags, Count: part.Load})
+		}
+	}
+	out.Emit(storm.Tuple{Stream: StreamPartial, Values: []interface{}{PartialMsg{Epoch: epoch, Sets: sets}}})
+}
+
+// Merger combines the partial results of all P Partitioners of one epoch
+// into the final k partitions using the same algorithm, announces them to
+// the Disseminators together with the reference quality statistics, and
+// serves Single-Addition requests against its copy of the current
+// partitions (Sections 6.2 and 7.1).
+type Merger struct {
+	cfg Config
+	ctx *storm.TaskContext
+
+	pending map[int][]stream.WeightedSet // epoch -> collected partial sets
+	arrived map[int]int                  // epoch -> partials received
+	current *partition.Result
+
+	// Merges counts completed epochs; Additions counts Single Additions.
+	Merges    int
+	Additions int
+}
+
+// NewMerger returns a Merger bolt.
+func NewMerger(cfg Config) *Merger {
+	return &Merger{
+		cfg:     cfg,
+		pending: make(map[int][]stream.WeightedSet),
+		arrived: make(map[int]int),
+	}
+}
+
+// Prepare implements storm.Bolt.
+func (m *Merger) Prepare(ctx *storm.TaskContext) { m.ctx = ctx }
+
+// Current returns the Merger's view of the current partitions (nil before
+// the first merge).
+func (m *Merger) Current() *partition.Result { return m.current }
+
+// Execute implements storm.Bolt.
+func (m *Merger) Execute(t storm.Tuple, out storm.Collector) {
+	switch t.Stream {
+	case StreamPartial:
+		msg := t.Values[0].(PartialMsg)
+		m.pending[msg.Epoch] = append(m.pending[msg.Epoch], msg.Sets...)
+		m.arrived[msg.Epoch]++
+		if m.arrived[msg.Epoch] == m.cfg.P {
+			m.merge(msg.Epoch, out)
+		}
+	case StreamAddition:
+		req := t.Values[0].(AdditionReq)
+		m.addSingle(req.Tags, out)
+	}
+}
+
+func (m *Merger) merge(epoch int, out storm.Collector) {
+	sets := m.pending[epoch]
+	delete(m.pending, epoch)
+	delete(m.arrived, epoch)
+
+	res, err := partition.Build(sets, partition.Options{
+		Algorithm: m.cfg.Algorithm,
+		K:         m.activePartitions(sets),
+		Seed:      m.cfg.Seed + int64(epoch)*131,
+	})
+	if err != nil {
+		panic(err)
+	}
+	m.current = res
+	m.Merges++
+	q := partition.Evaluate(res, sets)
+	parts := make([]partition.Partition, len(res.Parts))
+	copy(parts, res.Parts)
+	out.Emit(storm.Tuple{Stream: StreamPartitions, Values: []interface{}{
+		PartitionsMsg{Epoch: epoch, Parts: parts, Quality: q},
+	}})
+}
+
+// activePartitions implements topology scaling (Section 7.3): with
+// AutoScaleLoad set, the number of partitions follows the window load so
+// that each active Calculator receives roughly AutoScaleLoad documents;
+// otherwise all K Calculators are used. The count never exceeds K — the
+// maximum number of Calculator tasks is fixed when the topology is
+// submitted, exactly as in Storm.
+func (m *Merger) activePartitions(sets []stream.WeightedSet) int {
+	if m.cfg.AutoScaleLoad <= 0 {
+		return m.cfg.K
+	}
+	var total int64
+	for _, ws := range sets {
+		total += ws.Count
+	}
+	k := int((total + m.cfg.AutoScaleLoad - 1) / m.cfg.AutoScaleLoad)
+	if k < 1 {
+		k = 1
+	}
+	if k > m.cfg.K {
+		k = m.cfg.K
+	}
+	return k
+}
+
+// addSingle places an uncovered tagset into the best partition and
+// announces the decision. Requests arriving before the first merge are
+// ignored (the Disseminator cannot have sent them, but be safe).
+func (m *Merger) addSingle(tags tagset.Set, out storm.Collector) {
+	if m.current == nil || tags.IsEmpty() {
+		return
+	}
+	// Idempotency: if meanwhile covered (e.g. duplicate requests from
+	// several Disseminators), answer with the covering partition.
+	for i, p := range m.current.Parts {
+		if tags.SubsetOf(p.Tags) {
+			out.Emit(storm.Tuple{Stream: StreamAdditionRes, Values: []interface{}{
+				AdditionRes{Tags: tags, Part: i},
+			}})
+			return
+		}
+	}
+	idx := partition.PlaceSingleAddition(m.current, tags)
+	if idx < 0 {
+		return
+	}
+	if err := partition.Apply(m.current, idx, tags, 1); err != nil {
+		panic(err)
+	}
+	m.Additions++
+	out.Emit(storm.Tuple{Stream: StreamAdditionRes, Values: []interface{}{
+		AdditionRes{Tags: tags, Part: idx},
+	}})
+}

@@ -1,0 +1,57 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+)
+
+import "repro/internal/tagset"
+
+// PlaceSingleAddition chooses the best partition for a tagset that appeared
+// in the input but is not covered by any partition (a Single Addition,
+// Section 7.1). For DS, SCC and SCI the partition is selected to minimise
+// the increase in communication: the one already sharing the most tags with
+// the tagset (least load as tie-break). For SCL it is selected to keep load
+// balanced: the least-loaded partition (most shared tags as tie-break).
+//
+// It returns the chosen partition index; the caller applies the addition
+// via Apply.
+func PlaceSingleAddition(r *Result, s tagset.Set) int {
+	if len(r.Parts) == 0 {
+		return -1
+	}
+	switch r.Algorithm {
+	case SCL:
+		best, bestOv, bestLoad := 0, -1, int64(math.MaxInt64)
+		for p := range r.Parts {
+			ov := s.IntersectLen(r.Parts[p].Tags)
+			ld := r.Parts[p].Load
+			if ld < bestLoad || (ld == bestLoad && ov > bestOv) {
+				best, bestOv, bestLoad = p, ov, ld
+			}
+		}
+		return best
+	default: // DS, DSHybrid, SCC, SCI: minimise added replication
+		best, bestOv, bestLoad := 0, -1, int64(math.MaxInt64)
+		for p := range r.Parts {
+			ov := s.IntersectLen(r.Parts[p].Tags)
+			ld := r.Parts[p].Load
+			if ov > bestOv || (ov == bestOv && ld < bestLoad) {
+				best, bestOv, bestLoad = p, ov, ld
+			}
+		}
+		return best
+	}
+}
+
+// Apply adds tagset s to partition p of r, increasing the partition's
+// recorded load by the tagset's observed weight. It returns an error if p
+// is out of range.
+func Apply(r *Result, p int, s tagset.Set, weight int64) error {
+	if p < 0 || p >= len(r.Parts) {
+		return fmt.Errorf("partition: apply to partition %d of %d", p, len(r.Parts))
+	}
+	r.Parts[p].Tags = r.Parts[p].Tags.Union(s)
+	r.Parts[p].Load += weight
+	return nil
+}

@@ -1,0 +1,294 @@
+package partition
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/stream"
+	"repro/internal/tagset"
+)
+
+// This file implements the classic graph-partitioning baseline the paper's
+// related work discusses (Section 2): Kernighan–Lin refinement [Kernighan &
+// Lin 1970] applied to the tagset graph, with k-way partitions obtained by
+// greedy packing followed by pairwise KL refinement passes. The paper
+// argues such algorithms produce good partitions but are too expensive for
+// a setting where partitions are recomputed continuously — this
+// implementation exists to measure exactly that trade-off (see
+// BenchmarkBaselineKL).
+//
+// Vertices are whole connected components' member *tagsets*; moving a
+// tagset between partitions changes the edge cut, where an edge (weighted
+// by shared-tag count) connects tagsets sharing tags. The edge cut is a
+// direct proxy for the replication/communication objective: a cut edge
+// means a tag co-location opportunity missed.
+
+// KL is the Kernighan–Lin baseline algorithm identifier.
+const KL Algorithm = "KL"
+
+// BuildKL partitions the window's tagsets into k parts: initial balanced
+// greedy assignment by load, then maxPasses rounds of pairwise KL
+// refinement minimising the weighted edge cut subject to a load-balance
+// tolerance. Unlike DS/SCC/SCL/SCI it does not guarantee coverage by
+// construction, so a final repair pass duplicates each uncovered tagset's
+// tags into its best partition (as the online algorithms' Single Addition
+// would).
+func BuildKL(sets []stream.WeightedSet, k, maxPasses int, seed int64) (*Result, error) {
+	in := NewInput(sets)
+	n := len(in.Sets)
+	if k < 1 {
+		return nil, errK(k)
+	}
+	assign := make([]int, n)
+
+	// Initial assignment: components largest-first onto lightest partition
+	// (the DS packing), then split per tagset.
+	comps := graph.Components(in.Sets)
+	loads := make([]int64, k)
+	tagPart := make(map[tagset.Tag]int)
+	for _, c := range comps {
+		best := 0
+		for p := 1; p < k; p++ {
+			if loads[p] < loads[best] {
+				best = p
+			}
+		}
+		loads[best] += c.Load
+		for _, tg := range c.Tags {
+			tagPart[tg] = best
+		}
+	}
+	for i, ws := range in.Sets {
+		if !ws.Tags.IsEmpty() {
+			assign[i] = tagPart[ws.Tags[0]]
+		}
+	}
+
+	adj := buildAdjacency(in)
+	tagsetLoads := in.Loads
+
+	// Pairwise KL passes over all partition pairs.
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for a := 0; a < k; a++ {
+			for b := a + 1; b < k; b++ {
+				if klRefinePair(in, adj, assign, tagsetLoads, a, b) {
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+
+	// Materialise partitions from tagset assignment.
+	members := make([]map[tagset.Tag]struct{}, k)
+	for i := range members {
+		members[i] = make(map[tagset.Tag]struct{})
+	}
+	for i, ws := range in.Sets {
+		for _, tg := range ws.Tags {
+			members[assign[i]][tg] = struct{}{}
+		}
+	}
+	res := &Result{Algorithm: KL, Parts: make([]Partition, k)}
+	for p := 0; p < k; p++ {
+		tags := make([]tagset.Tag, 0, len(members[p]))
+		for tg := range members[p] {
+			tags = append(tags, tg)
+		}
+		set := tagset.New(tags...)
+		res.Parts[p] = Partition{Tags: set, Load: in.LoadOfTags(set)}
+	}
+	// Coverage repair (KL may split a tagset's tags across partitions
+	// because tags are the union of member tagsets — member tagsets stay
+	// whole, so coverage holds by construction; assert-repair anyway for
+	// robustness against zero-tagset partitions).
+	for _, ws := range in.Sets {
+		if !res.Covers(ws.Tags) {
+			p := PlaceSingleAddition(res, ws.Tags)
+			if p >= 0 {
+				_ = Apply(res, p, ws.Tags, ws.Count)
+			}
+		}
+	}
+	return res, nil
+}
+
+func errK(k int) error {
+	return errInvalidK{k}
+}
+
+type errInvalidK struct{ k int }
+
+func (e errInvalidK) Error() string {
+	return "partition: kernighan-lin k < 1"
+}
+
+// buildAdjacency returns, per tagset index, the weighted neighbour list:
+// neighbours are tagsets sharing at least one tag; the weight is the
+// shared-tag count.
+func buildAdjacency(in *Input) [][]klEdge {
+	adj := make([][]klEdge, len(in.Sets))
+	weight := make(map[int64]int32)
+	for _, posting := range in.postings {
+		for i := 0; i < len(posting); i++ {
+			for j := i + 1; j < len(posting); j++ {
+				key := int64(posting[i])<<32 | int64(posting[j])
+				weight[key]++
+			}
+		}
+	}
+	for key, w := range weight {
+		i, j := int(key>>32), int(key&0xffffffff)
+		adj[i] = append(adj[i], klEdge{to: j, w: w})
+		adj[j] = append(adj[j], klEdge{to: i, w: w})
+	}
+	return adj
+}
+
+type klEdge struct {
+	to int
+	w  int32
+}
+
+// klRefinePair runs one Kernighan–Lin pass between partitions a and b:
+// compute D-values (external minus internal cost) for every vertex in a∪b,
+// greedily swap the best pair, lock both, repeat; finally keep the prefix
+// of swaps with the best cumulative gain. Returns whether the cut improved.
+func klRefinePair(in *Input, adj [][]klEdge, assign []int, loads []int64, a, b int) bool {
+	var va, vb []int
+	for i, p := range assign {
+		switch p {
+		case a:
+			va = append(va, i)
+		case b:
+			vb = append(vb, i)
+		}
+	}
+	if len(va) == 0 || len(vb) == 0 {
+		return false
+	}
+	// Bound the pass size: KL is O(n² log n) per pass; limit each side to
+	// the heaviest vertices for very large windows (the baseline's cost is
+	// part of what we measure, but unbounded cubic blow-ups would dominate
+	// the whole benchmark suite — even bounded, KL is orders of magnitude
+	// slower than the online algorithms).
+	const maxSide = 96
+	va = topByLoad(va, in.Loads, maxSide)
+	vb = topByLoad(vb, in.Loads, maxSide)
+
+	d := make(map[int]int64) // D-value per vertex
+	dOf := func(v, own, other int) int64 {
+		var ext, int_ int64
+		for _, e := range adj[v] {
+			switch assign[e.to] {
+			case other:
+				ext += int64(e.w)
+			case own:
+				int_ += int64(e.w)
+			}
+		}
+		return ext - int_
+	}
+	for _, v := range va {
+		d[v] = dOf(v, a, b)
+	}
+	for _, v := range vb {
+		d[v] = dOf(v, b, a)
+	}
+
+	locked := make(map[int]bool)
+	type swap struct {
+		x, y int
+		gain int64
+	}
+	var swaps []swap
+	rounds := len(va)
+	if len(vb) < rounds {
+		rounds = len(vb)
+	}
+	for r := 0; r < rounds; r++ {
+		bestGain := int64(-1 << 62)
+		bx, by := -1, -1
+		for _, x := range va {
+			if locked[x] {
+				continue
+			}
+			for _, y := range vb {
+				if locked[y] {
+					continue
+				}
+				gain := d[x] + d[y] - 2*edgeWeight(adj, x, y)
+				if gain > bestGain {
+					bestGain, bx, by = gain, x, y
+				}
+			}
+		}
+		if bx == -1 {
+			break
+		}
+		locked[bx], locked[by] = true, true
+		swaps = append(swaps, swap{bx, by, bestGain})
+		// Update D-values of unlocked vertices as if the swap happened.
+		for _, e := range adj[bx] {
+			if locked[e.to] {
+				continue
+			}
+			switch assign[e.to] {
+			case a:
+				d[e.to] += 2 * int64(e.w)
+			case b:
+				d[e.to] -= 2 * int64(e.w)
+			}
+		}
+		for _, e := range adj[by] {
+			if locked[e.to] {
+				continue
+			}
+			switch assign[e.to] {
+			case b:
+				d[e.to] += 2 * int64(e.w)
+			case a:
+				d[e.to] -= 2 * int64(e.w)
+			}
+		}
+	}
+
+	// Best prefix of cumulative gains.
+	bestSum, sum, bestLen := int64(0), int64(0), 0
+	for i, s := range swaps {
+		sum += s.gain
+		if sum > bestSum {
+			bestSum, bestLen = sum, i+1
+		}
+	}
+	if bestLen == 0 {
+		return false
+	}
+	for i := 0; i < bestLen; i++ {
+		assign[swaps[i].x] = b
+		assign[swaps[i].y] = a
+	}
+	return true
+}
+
+func edgeWeight(adj [][]klEdge, x, y int) int64 {
+	for _, e := range adj[x] {
+		if e.to == y {
+			return int64(e.w)
+		}
+	}
+	return 0
+}
+
+func topByLoad(idx []int, loads []int64, max int) []int {
+	if len(idx) <= max {
+		return idx
+	}
+	sorted := make([]int, len(idx))
+	copy(sorted, idx)
+	sort.Slice(sorted, func(i, j int) bool { return loads[sorted[i]] > loads[sorted[j]] })
+	return sorted[:max]
+}

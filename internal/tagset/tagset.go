@@ -1,0 +1,393 @@
+// Package tagset provides the fundamental data types of the system: interned
+// tags and canonical, immutable sets of tags ("tagsets") as they annotate
+// social-media documents.
+//
+// Tags are interned into dense uint32 identifiers by a Dictionary so that the
+// hot paths of the pipeline (partitioning, dissemination, counting) operate
+// on integer sets rather than strings. A Tagset is stored sorted and
+// deduplicated, which makes equality, hashing, subset tests and set algebra
+// cheap and canonical.
+package tagset
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Tag is the dense, interned identifier of a single tag (hashtag).
+type Tag uint32
+
+// Dictionary interns tag strings to dense Tag identifiers and back.
+// It is safe for concurrent use.
+type Dictionary struct {
+	mu    sync.RWMutex
+	byStr map[string]Tag
+	byID  []string
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{byStr: make(map[string]Tag)}
+}
+
+// Intern returns the Tag for s, assigning a fresh identifier on first use.
+func (d *Dictionary) Intern(s string) Tag {
+	d.mu.RLock()
+	id, ok := d.byStr[s]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.byStr[s]; ok {
+		return id
+	}
+	id = Tag(len(d.byID))
+	d.byStr[s] = id
+	d.byID = append(d.byID, s)
+	return id
+}
+
+// Lookup returns the Tag for s if it has been interned.
+func (d *Dictionary) Lookup(s string) (Tag, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok := d.byStr[s]
+	return id, ok
+}
+
+// String returns the string form of t. It panics if t was not issued by d.
+func (d *Dictionary) String(t Tag) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.byID[t]
+}
+
+// Len reports the number of distinct tags interned so far.
+func (d *Dictionary) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.byID)
+}
+
+// InternSet interns every string in tags and returns the canonical Tagset.
+func (d *Dictionary) InternSet(tags []string) Set {
+	ids := make([]Tag, 0, len(tags))
+	for _, s := range tags {
+		ids = append(ids, d.Intern(s))
+	}
+	return New(ids...)
+}
+
+// Strings maps a Set back to its (sorted-by-id) tag strings.
+func (d *Dictionary) Strings(s Set) []string {
+	out := make([]string, 0, s.Len())
+	for _, t := range s {
+		out = append(out, d.String(t))
+	}
+	return out
+}
+
+// Set is a canonical tagset: strictly increasing, duplicate-free Tag slice.
+// The zero value is the empty set. A Set must not be mutated after creation;
+// all operations return fresh sets.
+type Set []Tag
+
+// New builds the canonical Set of the given tags, sorting and deduplicating.
+func New(tags ...Tag) Set {
+	if len(tags) == 0 {
+		return nil
+	}
+	s := make(Set, len(tags))
+	copy(s, tags)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	// Deduplicate in place.
+	w := 1
+	for i := 1; i < len(s); i++ {
+		if s[i] != s[w-1] {
+			s[w] = s[i]
+			w++
+		}
+	}
+	return s[:w]
+}
+
+// FromSorted adopts an already strictly-increasing slice as a Set without
+// copying. The caller must guarantee sortedness and uniqueness and must not
+// mutate the slice afterwards.
+func FromSorted(tags []Tag) Set { return Set(tags) }
+
+// Len reports the number of tags in the set.
+func (s Set) Len() int { return len(s) }
+
+// IsEmpty reports whether the set has no tags.
+func (s Set) IsEmpty() bool { return len(s) == 0 }
+
+// Contains reports whether t is a member of s.
+func (s Set) Contains(t Tag) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= t })
+	return i < len(s) && s[i] == t
+}
+
+// Equal reports whether s and o contain exactly the same tags.
+func (s Set) Equal(o Set) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every tag of s is contained in o.
+func (s Set) SubsetOf(o Set) bool {
+	if len(s) > len(o) {
+		return false
+	}
+	i, j := 0, 0
+	for i < len(s) && j < len(o) {
+		switch {
+		case s[i] == o[j]:
+			i++
+			j++
+		case s[i] > o[j]:
+			j++
+		default:
+			return false
+		}
+	}
+	return i == len(s)
+}
+
+// Intersect returns the set of tags present in both s and o.
+func (s Set) Intersect(o Set) Set {
+	var out Set
+	i, j := 0, 0
+	for i < len(s) && j < len(o) {
+		switch {
+		case s[i] == o[j]:
+			out = append(out, s[i])
+			i++
+			j++
+		case s[i] < o[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// IntersectLen returns |s ∩ o| without allocating.
+func (s Set) IntersectLen(o Set) int {
+	n, i, j := 0, 0, 0
+	for i < len(s) && j < len(o) {
+		switch {
+		case s[i] == o[j]:
+			n++
+			i++
+			j++
+		case s[i] < o[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return n
+}
+
+// Intersects reports whether s and o share at least one tag.
+func (s Set) Intersects(o Set) bool {
+	i, j := 0, 0
+	for i < len(s) && j < len(o) {
+		switch {
+		case s[i] == o[j]:
+			return true
+		case s[i] < o[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// Union returns the set of tags present in either s or o.
+func (s Set) Union(o Set) Set {
+	out := make(Set, 0, len(s)+len(o))
+	i, j := 0, 0
+	for i < len(s) && j < len(o) {
+		switch {
+		case s[i] == o[j]:
+			out = append(out, s[i])
+			i++
+			j++
+		case s[i] < o[j]:
+			out = append(out, s[i])
+			i++
+		default:
+			out = append(out, o[j])
+			j++
+		}
+	}
+	out = append(out, s[i:]...)
+	out = append(out, o[j:]...)
+	return out
+}
+
+// Diff returns the tags of s that are not in o.
+func (s Set) Diff(o Set) Set {
+	var out Set
+	i, j := 0, 0
+	for i < len(s) && j < len(o) {
+		switch {
+		case s[i] == o[j]:
+			i++
+			j++
+		case s[i] < o[j]:
+			out = append(out, s[i])
+			i++
+		default:
+			j++
+		}
+	}
+	out = append(out, s[i:]...)
+	return out
+}
+
+// DiffLen returns |s \ o| without allocating.
+func (s Set) DiffLen(o Set) int {
+	n, i, j := 0, 0, 0
+	for i < len(s) && j < len(o) {
+		switch {
+		case s[i] == o[j]:
+			i++
+			j++
+		case s[i] < o[j]:
+			n++
+			i++
+		default:
+			j++
+		}
+	}
+	return n + len(s) - i
+}
+
+// Clone returns an independent copy of s.
+func (s Set) Clone() Set {
+	if s == nil {
+		return nil
+	}
+	out := make(Set, len(s))
+	copy(out, s)
+	return out
+}
+
+// Key returns a compact byte-string usable as a map key. Two sets have the
+// same Key iff they are Equal.
+func (s Set) Key() Key {
+	buf := make([]byte, 4*len(s))
+	for i, t := range s {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(t))
+	}
+	return Key(buf)
+}
+
+// Key is the map-key form of a Set, produced by Set.Key.
+type Key string
+
+// Set decodes the key back into its canonical Set.
+func (k Key) Set() Set {
+	b := []byte(k)
+	s := make(Set, len(b)/4)
+	for i := range s {
+		s[i] = Tag(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return s
+}
+
+// Len reports the number of tags encoded in the key.
+func (k Key) Len() int { return len(k) / 4 }
+
+// String renders the set as "{1,5,9}" using raw tag identifiers.
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, t := range s {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", uint32(t))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Subsets calls fn for every non-empty subset of s with at least minSize
+// tags, in an unspecified order. The Set passed to fn is reused between
+// calls; fn must Clone it if it retains it. Enumeration uses bitmask
+// iteration and therefore requires s.Len() <= 30; larger sets panic, which
+// in this system cannot happen because documents carry few tags (the paper
+// observes <10 and the parser enforces a cap).
+func (s Set) Subsets(minSize int, fn func(Set)) {
+	n := len(s)
+	if n > 30 {
+		panic(fmt.Sprintf("tagset: Subsets on set of %d tags", n))
+	}
+	if n == 0 {
+		return
+	}
+	buf := make(Set, 0, n)
+	for mask := 1; mask < 1<<n; mask++ {
+		if popcount(uint32(mask)) < minSize {
+			continue
+		}
+		buf = buf[:0]
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				buf = append(buf, s[i])
+			}
+		}
+		fn(buf)
+	}
+}
+
+// CountSubsets returns the number of subsets of s with at least minSize tags.
+func (s Set) CountSubsets(minSize int) int {
+	n := len(s)
+	total := 0
+	for size := minSize; size <= n; size++ {
+		total += binomial(n, size)
+	}
+	return total
+}
+
+func popcount(x uint32) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1
+	for i := 1; i <= k; i++ {
+		r = r * (n - k + i) / i
+	}
+	return r
+}

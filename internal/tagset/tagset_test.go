@@ -1,0 +1,262 @@
+package tagset
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDictionaryIntern(t *testing.T) {
+	d := NewDictionary()
+	a := d.Intern("a")
+	b := d.Intern("b")
+	if a == b {
+		t.Fatalf("distinct strings interned to same id %d", a)
+	}
+	if got := d.Intern("a"); got != a {
+		t.Errorf("re-intern of a = %d, want %d", got, a)
+	}
+	if d.String(a) != "a" || d.String(b) != "b" {
+		t.Errorf("round trip failed: %q %q", d.String(a), d.String(b))
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+	if _, ok := d.Lookup("c"); ok {
+		t.Error("Lookup of unseen tag succeeded")
+	}
+	if id, ok := d.Lookup("b"); !ok || id != b {
+		t.Errorf("Lookup(b) = %d,%v", id, ok)
+	}
+}
+
+func TestDictionaryConcurrent(t *testing.T) {
+	d := NewDictionary()
+	done := make(chan struct{})
+	words := []string{"w0", "w1", "w2", "w3", "w4", "w5", "w6", "w7"}
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				w := words[i%len(words)]
+				id := d.Intern(w)
+				if d.String(id) != w {
+					t.Errorf("round trip mismatch for %q", w)
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if d.Len() != len(words) {
+		t.Errorf("Len = %d, want %d", d.Len(), len(words))
+	}
+}
+
+func TestNewCanonicalises(t *testing.T) {
+	s := New(5, 1, 3, 5, 1)
+	want := Set{1, 3, 5}
+	if !s.Equal(want) {
+		t.Fatalf("New = %v, want %v", s, want)
+	}
+	if New().Len() != 0 {
+		t.Error("New() not empty")
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := New(1, 2, 3, 5)
+	b := New(2, 3, 7)
+	tests := []struct {
+		name string
+		got  Set
+		want Set
+	}{
+		{"intersect", a.Intersect(b), New(2, 3)},
+		{"union", a.Union(b), New(1, 2, 3, 5, 7)},
+		{"diff a-b", a.Diff(b), New(1, 5)},
+		{"diff b-a", b.Diff(a), New(7)},
+		{"intersect empty", a.Intersect(New(9)), nil},
+	}
+	for _, tt := range tests {
+		if !tt.got.Equal(tt.want) {
+			t.Errorf("%s = %v, want %v", tt.name, tt.got, tt.want)
+		}
+	}
+	if a.IntersectLen(b) != 2 {
+		t.Errorf("IntersectLen = %d, want 2", a.IntersectLen(b))
+	}
+	if a.DiffLen(b) != 2 {
+		t.Errorf("DiffLen = %d, want 2", a.DiffLen(b))
+	}
+	if !a.Intersects(b) || a.Intersects(New(8, 9)) {
+		t.Error("Intersects wrong")
+	}
+}
+
+func TestSubsetContains(t *testing.T) {
+	a := New(1, 2, 3)
+	if !New(1, 3).SubsetOf(a) {
+		t.Error("{1,3} should be subset of {1,2,3}")
+	}
+	if New(1, 4).SubsetOf(a) {
+		t.Error("{1,4} should not be subset of {1,2,3}")
+	}
+	if !Set(nil).SubsetOf(a) {
+		t.Error("empty set should be subset of anything")
+	}
+	if !a.Contains(2) || a.Contains(4) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	s := New(0, 7, 1<<20, 1<<31)
+	k := s.Key()
+	if k.Len() != 4 {
+		t.Errorf("Key.Len = %d, want 4", k.Len())
+	}
+	back := k.Set()
+	if !back.Equal(s) {
+		t.Errorf("round trip = %v, want %v", back, s)
+	}
+	if New(1, 2).Key() == New(1, 3).Key() {
+		t.Error("distinct sets share a key")
+	}
+}
+
+func TestSubsetsEnumeration(t *testing.T) {
+	s := New(1, 2, 3)
+	var got []string
+	s.Subsets(2, func(sub Set) {
+		got = append(got, sub.String())
+	})
+	sort.Strings(got)
+	want := []string{"{1,2,3}", "{1,2}", "{1,3}", "{2,3}"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Subsets(2) = %v, want %v", got, want)
+	}
+
+	n := 0
+	s.Subsets(1, func(Set) { n++ })
+	if n != 7 {
+		t.Errorf("Subsets(1) visited %d, want 7", n)
+	}
+	if c := s.CountSubsets(2); c != 4 {
+		t.Errorf("CountSubsets(2) = %d, want 4", c)
+	}
+	if c := New(1, 2, 3, 4, 5).CountSubsets(2); c != 26 {
+		t.Errorf("CountSubsets(2) of 5 = %d, want 26", c)
+	}
+}
+
+func TestSubsetsPanicsOnHugeSet(t *testing.T) {
+	big := make(Set, 31)
+	for i := range big {
+		big[i] = Tag(i)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for 31-tag set")
+		}
+	}()
+	big.Subsets(2, func(Set) {})
+}
+
+func TestInternSetAndStrings(t *testing.T) {
+	d := NewDictionary()
+	s := d.InternSet([]string{"beer", "munich", "beer"})
+	if s.Len() != 2 {
+		t.Fatalf("InternSet len = %d, want 2", s.Len())
+	}
+	names := d.Strings(s)
+	sort.Strings(names)
+	if !reflect.DeepEqual(names, []string{"beer", "munich"}) {
+		t.Errorf("Strings = %v", names)
+	}
+}
+
+// Property-based tests on the canonical-set invariants.
+
+func randomSet(r *rand.Rand) Set {
+	n := r.Intn(10)
+	tags := make([]Tag, n)
+	for i := range tags {
+		tags[i] = Tag(r.Intn(40))
+	}
+	return New(tags...)
+}
+
+func TestQuickCanonical(t *testing.T) {
+	f := func(raw []uint32) bool {
+		tags := make([]Tag, len(raw))
+		for i, v := range raw {
+			tags[i] = Tag(v % 100)
+		}
+		s := New(tags...)
+		for i := 1; i < len(s); i++ {
+			if s[i] <= s[i-1] {
+				return false
+			}
+		}
+		// Every input tag must be present.
+		for _, tg := range tags {
+			if !s.Contains(tg) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSetAlgebra(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		a, b := randomSet(r), randomSet(r)
+		inter, uni, diff := a.Intersect(b), a.Union(b), a.Diff(b)
+		if inter.Len()+uni.Len() != a.Len()+b.Len() {
+			t.Fatalf("|A∩B|+|A∪B| != |A|+|B| for %v %v", a, b)
+		}
+		if !diff.Union(inter).Equal(a) {
+			t.Fatalf("(A\\B)∪(A∩B) != A for %v %v", a, b)
+		}
+		if a.IntersectLen(b) != inter.Len() || a.DiffLen(b) != diff.Len() {
+			t.Fatalf("counting mismatch for %v %v", a, b)
+		}
+		if !inter.SubsetOf(a) || !inter.SubsetOf(b) || !a.SubsetOf(uni) {
+			t.Fatalf("subset laws violated for %v %v", a, b)
+		}
+		if a.Intersects(b) != (inter.Len() > 0) {
+			t.Fatalf("Intersects mismatch for %v %v", a, b)
+		}
+		if !a.Key().Set().Equal(a) {
+			t.Fatalf("key round trip failed for %v", a)
+		}
+	}
+}
+
+func TestQuickSubsetsCount(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		s := randomSet(r)
+		for minSize := 1; minSize <= 3; minSize++ {
+			n := 0
+			s.Subsets(minSize, func(sub Set) {
+				if sub.Len() < minSize || !sub.SubsetOf(s) {
+					t.Fatalf("bad subset %v of %v", sub, s)
+				}
+				n++
+			})
+			if n != s.CountSubsets(minSize) {
+				t.Fatalf("enumerated %d, CountSubsets=%d for %v", n, s.CountSubsets(minSize), s)
+			}
+		}
+	}
+}

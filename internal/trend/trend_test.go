@@ -1,0 +1,130 @@
+package trend
+
+import (
+	"testing"
+
+	"repro/internal/jaccard"
+	"repro/internal/tagset"
+)
+
+func coeff(j float64, cn int64, tags ...tagset.Tag) jaccard.Coefficient {
+	return jaccard.Coefficient{Tags: tagset.New(tags...), J: j, CN: cn}
+}
+
+func mustDetector(t *testing.T, cfg Config) *Detector {
+	t.Helper()
+	d, err := NewDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{Alpha: 0, MinSupport: 1},
+		{Alpha: 1.5, MinSupport: 1},
+		{Alpha: 0.5, MinSupport: 0},
+		{Alpha: 0.5, MinSupport: 1, MaxTracked: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewDetector(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := NewDetector(DefaultConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFirstSightingEstablishesPredictor(t *testing.T) {
+	d := mustDetector(t, DefaultConfig())
+	events := d.Feed(1, []jaccard.Coefficient{coeff(0.5, 10, 1, 2)})
+	if len(events) != 0 {
+		t.Fatalf("first sighting produced events: %v", events)
+	}
+	if d.Tracked() != 1 {
+		t.Errorf("Tracked = %d", d.Tracked())
+	}
+}
+
+func TestDeviationScoring(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Alpha = 0.5
+	d := mustDetector(t, cfg)
+	d.Feed(1, []jaccard.Coefficient{coeff(0.2, 10, 1, 2)})
+	events := d.Feed(2, []jaccard.Coefficient{coeff(0.8, 12, 1, 2)})
+	if len(events) != 1 {
+		t.Fatalf("events = %v", events)
+	}
+	e := events[0]
+	if !e.Rising || e.Predicted != 0.2 || e.Observed != 0.8 {
+		t.Errorf("event = %+v", e)
+	}
+	if e.Score < 0.59 || e.Score > 0.61 {
+		t.Errorf("score = %g, want 0.6", e.Score)
+	}
+	// Expectation updated: 0.5*0.8 + 0.5*0.2 = 0.5; a repeat at 0.5 scores 0.
+	events = d.Feed(3, []jaccard.Coefficient{coeff(0.5, 12, 1, 2)})
+	if len(events) != 1 || events[0].Score > 1e-9 {
+		t.Errorf("post-update events = %v", events)
+	}
+}
+
+func TestFallingTrend(t *testing.T) {
+	d := mustDetector(t, DefaultConfig())
+	d.Feed(1, []jaccard.Coefficient{coeff(0.9, 10, 1, 2)})
+	events := d.Feed(2, []jaccard.Coefficient{coeff(0.1, 10, 1, 2)})
+	if len(events) != 1 || events[0].Rising {
+		t.Errorf("falling trend misreported: %v", events)
+	}
+}
+
+func TestMinSupportFilter(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MinSupport = 10
+	d := mustDetector(t, cfg)
+	d.Feed(1, []jaccard.Coefficient{coeff(0.2, 3, 1, 2)})
+	if d.Tracked() != 0 {
+		t.Error("low-support coefficient tracked")
+	}
+}
+
+func TestEventsSortedByScore(t *testing.T) {
+	d := mustDetector(t, DefaultConfig())
+	d.Feed(1, []jaccard.Coefficient{
+		coeff(0.5, 10, 1, 2),
+		coeff(0.5, 10, 3, 4),
+	})
+	events := d.Feed(2, []jaccard.Coefficient{
+		coeff(0.6, 10, 1, 2), // score 0.1
+		coeff(0.9, 10, 3, 4), // score 0.4
+	})
+	if len(events) != 2 || events[0].Score < events[1].Score {
+		t.Errorf("not sorted: %v", events)
+	}
+	top := TopK(events, 1)
+	if len(top) != 1 || !top[0].Tags.Equal(tagset.New(3, 4)) {
+		t.Errorf("TopK = %v", top)
+	}
+	if got := TopK(events, 10); len(got) != 2 {
+		t.Errorf("TopK over-length = %v", got)
+	}
+}
+
+func TestEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxTracked = 3
+	d := mustDetector(t, cfg)
+	for i := int64(0); i < 6; i++ {
+		d.Feed(i, []jaccard.Coefficient{coeff(0.5, 10, tagset.Tag(2*i), tagset.Tag(2*i+1))})
+	}
+	if d.Tracked() != 3 {
+		t.Errorf("Tracked = %d, want 3", d.Tracked())
+	}
+	// The most recent survives; re-reporting it scores (predictor kept).
+	events := d.Feed(7, []jaccard.Coefficient{coeff(0.9, 10, 10, 11)})
+	if len(events) != 1 {
+		t.Errorf("recent predictor evicted: %v", events)
+	}
+}
