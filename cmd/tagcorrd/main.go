@@ -1,0 +1,180 @@
+// Command tagcorrd is the live tag-correlation service: it feeds a
+// generated or file-backed tweet stream into the concurrent pipeline and
+// serves the current correlation state over HTTP while the stream is being
+// consumed. It is the long-running counterpart of cmd/tagcorr.
+//
+//	tagcorrd -addr :8080                 # unbounded generated stream
+//	tagcorrd -in tweets.jsonl -rate 5000 # replay a file at 5000 docs/s
+//
+//	curl localhost:8080/topk?k=10
+//	curl localhost:8080/pairs/tag-42-1/tag-42-7
+//	curl localhost:8080/partition
+//	curl localhost:8080/stats
+//	curl localhost:8080/healthz
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: the source stops, the
+// in-flight tuples flush, a final snapshot is taken (so the cache serves
+// the exact end-of-run state), the run summary is printed, and the HTTP
+// server shuts down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/server"
+	"repro/internal/stream"
+	"repro/internal/tagset"
+	"repro/internal/twitgen"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "HTTP listen address")
+		in      = flag.String("in", "", "JSONL input file (empty: generate synthetically)")
+		alg     = flag.String("alg", "DS", "partitioning algorithm: DS, SCC, SCL, SCI, DS+split")
+		k       = flag.Int("k", 10, "number of partitions / Calculators")
+		p       = flag.Int("p", 10, "number of Partitioners")
+		thr     = flag.Float64("thr", 0.5, "repartition threshold")
+		minutes = flag.Float64("minutes", 0, "generated stream length in virtual minutes (0: unbounded)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		rate    = flag.Float64("rate", 0, "documents per wall-clock second (0: full speed)")
+		topk    = flag.Int("topk", 100, "coefficients kept in the snapshot cache")
+		refresh = flag.Duration("refresh", 250*time.Millisecond, "snapshot cache refresh interval")
+		periods = flag.Int("keep-periods", 12, "reporting periods retained in memory (0: keep all)")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Algorithm = partition.Algorithm(*alg)
+	cfg.K = *k
+	cfg.P = *p
+	cfg.Thr = *thr
+	// A daemon runs indefinitely: bound the Tracker's memory and skip the
+	// batch-oriented figure time series.
+	cfg.KeepPeriods = *periods
+	cfg.NoSeries = true
+
+	dict := tagset.NewDictionary()
+	src, err := buildSource(*in, *minutes, *seed, dict)
+	if err != nil {
+		log.Fatalf("tagcorrd: %v", err)
+	}
+	if *rate > 0 {
+		src = paced(src, *rate)
+	}
+	src, stop := core.StopSource(src)
+
+	pipe, err := core.NewPipeline(cfg, src)
+	if err != nil {
+		log.Fatalf("tagcorrd: %v", err)
+	}
+	h := pipe.Start()
+	srv := server.New(pipe, h, dict, server.Config{TopK: *topk, Refresh: *refresh})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	go func() {
+		log.Printf("tagcorrd: serving on %s (algorithm=%s k=%d P=%d thr=%g)",
+			*addr, cfg.Algorithm, cfg.K, cfg.P, cfg.Thr)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("tagcorrd: %v", err)
+		}
+	}()
+
+	// A finite stream (file input or -minutes) may drain on its own; the
+	// daemon keeps serving the final state until a signal arrives.
+	go func() {
+		h.Wait()
+		log.Printf("tagcorrd: stream drained; serving final state until shutdown")
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("tagcorrd: shutting down, draining stream")
+
+	stop()
+	res := h.Wait()
+	srv.Close() // final snapshot: the cache now holds the end-of-run state
+
+	fmt.Printf("# docs=%d (bootstrap %d) communication=%.3f loadGini=%.3f\n",
+		res.DocsProcessed, res.DocsBeforeInstall, res.Communication, res.LoadGini)
+	fmt.Printf("# repartitions=%d (comm=%d load=%d both=%d) singleAdditions=%d periods=%d\n",
+		res.Repartitions, res.RepartitionsComm, res.RepartitionsLoad, res.RepartitionsBoth,
+		res.SingleAdditions, len(res.Tracker.Periods()))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("tagcorrd: http shutdown: %v", err)
+	}
+}
+
+// buildSource returns the document stream: a JSONL file loaded up front, or
+// the synthetic generator (optionally capped at the given virtual length).
+func buildSource(in string, minutes float64, seed int64, dict *tagset.Dictionary) (core.DocumentSource, error) {
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		var docs []stream.Document
+		if err := stream.ReadJSONL(f, dict, func(d stream.Document) error {
+			docs = append(docs, d)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		return core.SliceSource(docs), nil
+	}
+
+	gcfg := twitgen.Default()
+	gcfg.Seed = seed
+	gen, err := twitgen.New(gcfg, dict)
+	if err != nil {
+		return nil, err
+	}
+	if minutes <= 0 {
+		return func() (stream.Document, bool) { return gen.Next(), true }, nil
+	}
+	limit := stream.Minutes(minutes)
+	return func() (stream.Document, bool) {
+		d := gen.Next()
+		if d.Time >= limit {
+			return stream.Document{}, false
+		}
+		return d, true
+	}, nil
+}
+
+// paced limits src to the given documents per wall-clock second. The sleep
+// is batched so coarse OS timer granularity cannot throttle far below the
+// requested rate.
+func paced(src core.DocumentSource, perSecond float64) core.DocumentSource {
+	var (
+		start time.Time
+		n     int64
+	)
+	return func() (stream.Document, bool) {
+		if start.IsZero() {
+			start = time.Now()
+		}
+		n++
+		due := start.Add(time.Duration(float64(n) / perSecond * float64(time.Second)))
+		if ahead := time.Until(due); ahead > 10*time.Millisecond {
+			time.Sleep(ahead)
+		}
+		return src()
+	}
+}

@@ -9,9 +9,13 @@
 // figure of the paper's evaluation (bench_test.go) plus the ablation
 // benchmarks. Entry points:
 //
-//   - internal/core: the pipeline API (wire a stream, run, read results)
+//   - internal/core: the pipeline API (wire a stream, run or Start it,
+//     read results — or take live Snapshots while it streams)
 //   - internal/partition: the DS / SCC / SCL / SCI partitioning algorithms
+//   - internal/server: the live HTTP query service behind cmd/tagcorrd
 //   - internal/expr: the experiment harness behind cmd/experiments
-//   - cmd/experiments, cmd/tagcorr, cmd/datagen: executables
-//   - examples/: runnable walkthroughs
+//   - cmd/tagcorrd: the long-running daemon (live /topk over HTTP)
+//   - cmd/experiments, cmd/tagcorr, cmd/datagen: batch executables
+//   - examples/: runnable walkthroughs (examples/liveserver shows the
+//     live snapshot API)
 package repro

@@ -1,0 +1,60 @@
+// Example liveserver shows the live query subsystem without HTTP: it
+// starts the concurrent pipeline on an unbounded generated stream, takes
+// periodic snapshots while the stream is being consumed, then stops the
+// source and drains gracefully — the same Start / Snapshot / StopSource
+// mechanics cmd/tagcorrd wires behind its HTTP endpoints.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+	"repro/internal/tagset"
+	"repro/internal/twitgen"
+)
+
+func main() {
+	dict := tagset.NewDictionary()
+	gcfg := twitgen.Default()
+	gen, err := twitgen.New(gcfg, dict)
+	if err != nil {
+		panic(err)
+	}
+
+	// An unbounded source the example stops explicitly — the shape of a
+	// live deployment, where the stream has no natural end.
+	src, stop := core.StopSource(func() (stream.Document, bool) {
+		return gen.Next(), true
+	})
+
+	cfg := core.DefaultConfig()
+	cfg.WindowSpan = stream.Minutes(1)
+	cfg.ReportEvery = stream.Minutes(1)
+
+	pipe, err := core.NewPipeline(cfg, src)
+	if err != nil {
+		panic(err)
+	}
+	h := pipe.Start()
+
+	// Watch the run live: the pipeline is streaming while we snapshot.
+	for i := 0; i < 5; i++ {
+		time.Sleep(400 * time.Millisecond)
+		s := h.Snapshot(3)
+		fmt.Printf("t+%.1fs docs=%d epoch=%d partitions=%d periods=%d comm=%.2f gini=%.2f\n",
+			0.4*float64(i+1), s.DocsProcessed, s.Epoch, len(s.Partitions),
+			len(s.Periods), s.Communication, s.LoadGini)
+		for _, c := range s.TopK {
+			fmt.Printf("    J=%.3f n=%-4d %v\n", c.J, c.CN, dict.Strings(c.Tags))
+		}
+	}
+
+	// Graceful drain: end the source, flush in-flight tuples, collect.
+	stop()
+	res := h.Wait()
+	fmt.Printf("drained: docs=%d communication=%.3f loadGini=%.3f repartitions=%d periods=%d\n",
+		res.DocsProcessed, res.Communication, res.LoadGini,
+		res.Repartitions, len(res.Tracker.Periods()))
+}

@@ -14,6 +14,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/jaccard"
 	"repro/internal/operators"
@@ -43,6 +44,22 @@ func GeneratorSource(next func() stream.Document, n int) DocumentSource {
 	}
 }
 
+// StopSource wraps src so the stream can be ended from outside: after stop
+// is called, the source reports end-of-stream regardless of remaining
+// input. This is how a long-running service drains gracefully — stop the
+// source, then Handle.Wait for the in-flight tuples to flush. stop is
+// idempotent and safe to call from any goroutine.
+func StopSource(src DocumentSource) (wrapped DocumentSource, stop func()) {
+	var stopped atomic.Bool
+	wrapped = func() (stream.Document, bool) {
+		if stopped.Load() {
+			return stream.Document{}, false
+		}
+		return src()
+	}
+	return wrapped, func() { stopped.Store(true) }
+}
+
 // SliceSource streams a fixed document slice.
 func SliceSource(docs []stream.Document) DocumentSource {
 	i := 0
@@ -70,7 +87,9 @@ type Pipeline struct {
 }
 
 // NewPipeline assembles the topology for the given configuration and input.
-// The returned pipeline must be run exactly once.
+// The returned pipeline is single-use: call exactly one of Run,
+// RunConcurrent or Start. Snapshot may be called at any time, including
+// while the run is streaming.
 func NewPipeline(cfg Config, src DocumentSource) (*Pipeline, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -122,6 +141,7 @@ func NewPipeline(cfg Config, src DocumentSource) (*Pipeline, error) {
 
 	b.Bolt("tracker", func() storm.Bolt {
 		p.tracker = operators.NewTracker()
+		p.tracker.SetRetention(cfg.KeepPeriods)
 		return p.tracker
 	}, 1).Shuffle("calculator")
 
@@ -168,7 +188,10 @@ type Result struct {
 }
 
 // Run executes the pipeline on the deterministic sequential executor and
-// gathers the results. It must be called at most once.
+// gathers the results. The pipeline is single-use: Run, RunConcurrent and
+// Start are mutually exclusive and may be invoked at most once in total.
+// While a run is in progress, Snapshot (from another goroutine) exposes
+// the live state; after Run returns, the Result carries the final totals.
 func (p *Pipeline) Run() *Result {
 	st := p.topo.RunSequential()
 	return p.collect(st)

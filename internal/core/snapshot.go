@@ -1,0 +1,161 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/jaccard"
+	"repro/internal/operators"
+	"repro/internal/partition"
+	"repro/internal/storm"
+)
+
+// Snapshot is a consistent point-in-time view of a pipeline while (or
+// after) it runs: the current top-k correlations, communication and load
+// statistics, the installed partitions, and the raw dataflow counters.
+// Every slice and map is a deep copy owned by the caller.
+//
+// Unlike Result, which is only available once the stream has drained, a
+// Snapshot can be taken at any moment of a run started with Start (or
+// RunConcurrent on another goroutine): all the state it reads is guarded
+// by the operators' own locks.
+type Snapshot struct {
+	// DocsProcessed counts parsed documents seen by the Disseminators; it
+	// is monotone over the lifetime of a run. DocsBeforeInstall counts the
+	// prefix that arrived before the first partitions were installed.
+	DocsProcessed     int64
+	DocsBeforeInstall int64
+	NotifiedDocs      int64
+	Notifications     int64
+	UncoveredDocs     int64
+
+	// Communication is notifications per notified document so far
+	// (Section 8.2.1); LoadGini the Gini coefficient of cumulative
+	// per-Calculator notifications so far (Section 8.2.2).
+	Communication float64
+	LoadGini      float64
+	PerCalculator []int64
+
+	// Epoch is the highest installed partition epoch (0 before bootstrap);
+	// RepartitionPending reports an outstanding repartition request.
+	Epoch              int
+	RepartitionPending bool
+	Repartitions       int
+	RepartitionsComm   int
+	RepartitionsLoad   int
+	RepartitionsBoth   int
+	SingleAdditions    int
+	Merges             int
+
+	// Partitions is the Merger's current tag-to-Calculator assignment
+	// (nil before the first merge).
+	Partitions []partition.Partition
+
+	// TopK holds the highest-Jaccard coefficients reported so far across
+	// all reporting periods, ordered by descending J (ties: descending CN,
+	// then tagset key). Periods lists the period ids seen so far.
+	TopK    []jaccard.Coefficient
+	Periods []int64
+
+	// CoefficientsReceived / CoefficientsDuplicate are the Tracker's raw
+	// intake counters.
+	CoefficientsReceived  int64
+	CoefficientsDuplicate int64
+
+	// EmittedByComponent / ReceivedByComponent are the storm substrate's
+	// per-component dataflow counters.
+	EmittedByComponent  map[string]int64
+	ReceivedByComponent map[string]int64
+}
+
+// Snapshot returns a live view of the pipeline with the given top-k size
+// (k <= 0 returns every coefficient reported so far). It is safe to call
+// from any goroutine at any time between NewPipeline and the end of the
+// process — before the run, mid-run under either executor, or after the
+// run — because every operator guards the state read here with its own
+// lock. Quantities accumulated per Disseminator are summed across
+// instances (with the paper's single-Disseminator configuration they are
+// exact).
+func (p *Pipeline) Snapshot(k int) *Snapshot {
+	s := &Snapshot{
+		TopK:    p.tracker.TopK(k),
+		Periods: p.tracker.Periods(),
+		Merges:  p.merger.MergeCount(),
+	}
+	s.CoefficientsReceived, s.CoefficientsDuplicate = p.tracker.Counts()
+	s.Partitions = p.merger.PartitionsSnapshot()
+
+	for _, d := range p.disseminators {
+		ds := d.SnapshotStats()
+		s.DocsProcessed += ds.Docs
+		s.DocsBeforeInstall += ds.BeforePartition
+		s.NotifiedDocs += ds.NotifiedDocs
+		s.Notifications += ds.Notifications
+		s.UncoveredDocs += ds.UncoveredDocs
+		s.Repartitions += ds.Repartitions
+		s.RepartitionsComm += ds.CauseComm
+		s.RepartitionsLoad += ds.CauseLoad
+		s.RepartitionsBoth += ds.CauseBoth
+		s.SingleAdditions += ds.AdditionsAsked
+		// Grow by length, not presence: a snapshot racing Prepare can see
+		// one instance's stats sized and another's still empty.
+		if len(ds.PerCalculator) > len(s.PerCalculator) {
+			grown := make([]int64, len(ds.PerCalculator))
+			copy(grown, s.PerCalculator)
+			s.PerCalculator = grown
+		}
+		for i, n := range ds.PerCalculator {
+			s.PerCalculator[i] += n
+		}
+		epoch, awaiting := d.Epoch()
+		if epoch > s.Epoch {
+			s.Epoch = epoch
+		}
+		s.RepartitionPending = s.RepartitionPending || awaiting
+	}
+	if s.NotifiedDocs > 0 {
+		s.Communication = float64(s.Notifications) / float64(s.NotifiedDocs)
+	}
+	agg := operators.DissemStats{PerCalculator: s.PerCalculator}
+	s.LoadGini = agg.LoadGini()
+
+	s.EmittedByComponent, s.ReceivedByComponent = p.topo.Stats().Totals()
+	return s
+}
+
+// Tracker exposes the Tracker bolt; its read methods are thread-safe, so
+// live queries (e.g. the HTTP pair lookup) may use it mid-run.
+func (p *Pipeline) Tracker() *operators.Tracker { return p.tracker }
+
+// Handle is a pipeline run in flight, returned by Start. Snapshots may be
+// taken while it runs; Wait blocks until the stream drains and returns the
+// final Result.
+type Handle struct {
+	p    *Pipeline
+	run  *storm.Run
+	once sync.Once
+	res  *Result
+}
+
+// Start launches the pipeline on the concurrent executor without blocking
+// and returns a handle. Like Run and RunConcurrent it must be called at
+// most once per pipeline, and not combined with them.
+func (p *Pipeline) Start() *Handle {
+	return &Handle{p: p, run: p.topo.StartConcurrent()}
+}
+
+// Done returns a channel closed when the run has fully drained.
+func (h *Handle) Done() <-chan struct{} { return h.run.Done() }
+
+// Running reports whether the dataflow is still in flight.
+func (h *Handle) Running() bool { return h.run.Running() }
+
+// Snapshot takes a live snapshot of the running (or finished) pipeline.
+func (h *Handle) Snapshot(k int) *Snapshot { return h.p.Snapshot(k) }
+
+// Wait blocks until the stream drains and returns the final Result. It is
+// safe to call from several goroutines; all receive the same Result.
+func (h *Handle) Wait() *Result {
+	st := h.run.Wait()
+	h.once.Do(func() { h.res = h.p.collect(st) })
+	return h.res
+}

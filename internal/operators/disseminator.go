@@ -1,6 +1,8 @@
 package operators
 
 import (
+	"sync"
+
 	"repro/internal/metrics"
 	"repro/internal/storm"
 	"repro/internal/tagset"
@@ -83,9 +85,15 @@ func (s *DissemStats) LoadGini() float64 { return metrics.GiniInts(s.PerCalculat
 // quality, requesting repartitions when communication or load degrade
 // beyond thr relative to the reference values the Merger supplied
 // (Sections 3.3, 7.1 and 7.2).
+//
+// Execute takes an internal mutex, so SnapshotStats and Epoch provide a
+// consistent live view from other goroutines while a concurrent run is
+// streaming. Direct access to the Stats field remains race-free only once
+// the run has drained (the batch/figure path).
 type Disseminator struct {
 	cfg Config
 	ctx *storm.TaskContext
+	mu  sync.Mutex
 
 	index     map[tagset.Tag][]int // tag -> calculator indices (sorted, unique)
 	calcTasks []storm.TaskID
@@ -109,6 +117,32 @@ type Disseminator struct {
 	Stats DissemStats
 }
 
+// SnapshotStats returns a copy of the Disseminator's counters taken under
+// the bolt's lock — the live view behind Pipeline.Snapshot. The copy
+// shares nothing with the bolt, so callers may hold it indefinitely.
+//
+// The figure time series (CommSeries, LoadSeries) are deliberately left
+// out: they grow with the run, and copying them under the lock on every
+// snapshot would increasingly stall the document hot path. Read them
+// after the run via Result.Dissem.
+func (d *Disseminator) SnapshotStats() DissemStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.Stats
+	s.PerCalculator = append([]int64(nil), d.Stats.PerCalculator...)
+	s.CommSeries = metrics.Series{}
+	s.LoadSeries = nil
+	return s
+}
+
+// Epoch returns the epoch of the currently installed partitions (0 before
+// the first install) and whether a repartition request is outstanding.
+func (d *Disseminator) Epoch() (epoch int, awaiting bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.epoch, d.awaiting
+}
+
 // NewDisseminator returns a Disseminator bolt.
 func NewDisseminator(cfg Config) *Disseminator {
 	return &Disseminator{
@@ -122,6 +156,8 @@ func NewDisseminator(cfg Config) *Disseminator {
 
 // Prepare implements storm.Bolt.
 func (d *Disseminator) Prepare(ctx *storm.TaskContext) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.ctx = ctx
 	d.calcTasks = ctx.TasksOf("calculator")
 	d.batchCalc = make([]int64, len(d.calcTasks))
@@ -130,6 +166,8 @@ func (d *Disseminator) Prepare(ctx *storm.TaskContext) {
 
 // Execute implements storm.Bolt.
 func (d *Disseminator) Execute(t storm.Tuple, out storm.Collector) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	switch t.Stream {
 	case StreamDoc:
 		d.onDoc(t.Values[0].(DocMsg), out)
@@ -272,19 +310,21 @@ func (d *Disseminator) evaluateBatch(out storm.Collector) {
 	avgCom := float64(d.batchMsgs) / float64(d.batchDocs)
 	maxLoad := metrics.MaxShareInts(d.batchCalc)
 	x := float64(d.Stats.Docs)
-	d.Stats.CommSeries.Record(x, avgCom)
-	shares := make([]float64, len(d.batchCalc))
-	var total int64
-	for _, c := range d.batchCalc {
-		total += c
-	}
-	if total > 0 {
-		for i, c := range d.batchCalc {
-			shares[i] = float64(c) / float64(total)
+	if !d.cfg.NoSeries {
+		d.Stats.CommSeries.Record(x, avgCom)
+		shares := make([]float64, len(d.batchCalc))
+		var total int64
+		for _, c := range d.batchCalc {
+			total += c
 		}
+		if total > 0 {
+			for i, c := range d.batchCalc {
+				shares[i] = float64(c) / float64(total)
+			}
+		}
+		sortDesc(shares)
+		d.Stats.LoadSeries = append(d.Stats.LoadSeries, LoadSample{X: x, Shares: shares})
 	}
-	sortDesc(shares)
-	d.Stats.LoadSeries = append(d.Stats.LoadSeries, LoadSample{X: x, Shares: shares})
 
 	if d.calibrating {
 		d.refAvgCom = avgCom
@@ -303,7 +343,9 @@ func (d *Disseminator) evaluateBatch(out storm.Collector) {
 				d.Stats.CauseLoad++
 			}
 			d.Stats.Repartitions++
-			d.Stats.CommSeries.Mark(x)
+			if !d.cfg.NoSeries {
+				d.Stats.CommSeries.Mark(x)
+			}
 			d.awaiting = true
 			out.Emit(storm.Tuple{Stream: StreamRepartition, Values: []interface{}{
 				RepartitionReq{Epoch: d.epoch + 1},

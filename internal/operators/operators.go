@@ -116,6 +116,17 @@ type Config struct {
 	// documents; the rest idle.
 	AutoScaleLoad int64
 
+	// KeepPeriods bounds the Tracker's memory for long-running service
+	// deployments: when > 0 only the most recent KeepPeriods reporting
+	// periods are retained (older coefficient reports are pruned as new
+	// periods open). 0 — the batch/figure default — keeps everything.
+	KeepPeriods int
+
+	// NoSeries disables the per-batch figure time series (CommSeries,
+	// LoadSeries), whose memory grows with the run. Service deployments
+	// (cmd/tagcorrd) set it; the scalar statistics are unaffected.
+	NoSeries bool
+
 	// CalibrateRefs replaces the Merger's partition-level reference
 	// quality with the first statistics batch measured on live traffic
 	// after each install. The paper's design (and the default) uses the
@@ -175,6 +186,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("operators: windowCount = %d", c.WindowCount)
 	case c.AutoScaleLoad < 0:
 		return fmt.Errorf("operators: autoScaleLoad = %d", c.AutoScaleLoad)
+	case c.KeepPeriods < 0:
+		return fmt.Errorf("operators: keepPeriods = %d", c.KeepPeriods)
 	}
 	return nil
 }

@@ -547,3 +547,35 @@ func TestSourceEmitsDocs(t *testing.T) {
 		t.Errorf("first = %+v", got)
 	}
 }
+
+func TestTrackerRetentionAndTopK(t *testing.T) {
+	tr := NewTracker()
+	tr.SetRetention(2)
+	report := func(period int64, tag tagset.Tag, j float64, cn int64) {
+		tr.Execute(storm.Tuple{Stream: StreamCoeff, Values: []interface{}{
+			CoeffMsg{Period: period, Coeff: jaccard.Coefficient{
+				Tags: tagset.New(tag, tag+1), J: j, CN: cn,
+			}},
+		}}, nil)
+	}
+	report(1, 10, 0.9, 5)
+	report(2, 20, 0.5, 3)
+	report(3, 30, 0.7, 4)
+
+	// Period 1 must be pruned: only the 2 newest periods are retained.
+	if got := tr.Periods(); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("Periods() = %v, want [2 3]", got)
+	}
+	if _, _, ok := tr.Lookup(tagset.New(10, 11).Key()); ok {
+		t.Error("Lookup found a coefficient from a pruned period")
+	}
+
+	// TopK ranks by descending J across the retained periods.
+	top := tr.TopK(1)
+	if len(top) != 1 || top[0].J != 0.7 {
+		t.Fatalf("TopK(1) = %+v, want the J=0.7 report", top)
+	}
+	if all := tr.TopK(0); len(all) != 2 {
+		t.Fatalf("TopK(0) returned %d coefficients, want 2", len(all))
+	}
+}

@@ -1,6 +1,8 @@
 package operators
 
 import (
+	"sync"
+
 	"repro/internal/graph"
 	"repro/internal/partition"
 	"repro/internal/storm"
@@ -101,9 +103,14 @@ func (p *Partitioner) emitPartial(epoch int, out storm.Collector) {
 // the Disseminators together with the reference quality statistics, and
 // serves Single-Addition requests against its copy of the current
 // partitions (Sections 6.2 and 7.1).
+//
+// Execute takes an internal mutex, so PartitionsSnapshot and MergeCount
+// are safe to call from other goroutines while a concurrent run is
+// streaming.
 type Merger struct {
 	cfg Config
 	ctx *storm.TaskContext
+	mu  sync.Mutex
 
 	pending map[int][]stream.WeightedSet // epoch -> collected partial sets
 	arrived map[int]int                  // epoch -> partials received
@@ -127,11 +134,40 @@ func NewMerger(cfg Config) *Merger {
 func (m *Merger) Prepare(ctx *storm.TaskContext) { m.ctx = ctx }
 
 // Current returns the Merger's view of the current partitions (nil before
-// the first merge).
-func (m *Merger) Current() *partition.Result { return m.current }
+// the first merge). The result is live state — use PartitionsSnapshot for
+// a copy that is safe to read while a concurrent run is in flight.
+func (m *Merger) Current() *partition.Result {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.current
+}
+
+// PartitionsSnapshot returns a deep copy of the current partitions (nil
+// before the first merge), taken under the bolt's lock.
+func (m *Merger) PartitionsSnapshot() []partition.Partition {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.current == nil {
+		return nil
+	}
+	out := make([]partition.Partition, len(m.current.Parts))
+	for i, p := range m.current.Parts {
+		out[i] = partition.Partition{Tags: append(tagset.Set(nil), p.Tags...), Load: p.Load}
+	}
+	return out
+}
+
+// MergeCount returns the number of completed merge epochs under the lock.
+func (m *Merger) MergeCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.Merges
+}
 
 // Execute implements storm.Bolt.
 func (m *Merger) Execute(t storm.Tuple, out storm.Collector) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	switch t.Stream {
 	case StreamPartial:
 		msg := t.Values[0].(PartialMsg)

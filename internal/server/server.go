@@ -1,0 +1,347 @@
+// Package server exposes a running pipeline as a live HTTP query service —
+// the serving layer of the tagcorrd daemon. While the concurrent executor
+// is still consuming the stream, clients can ask for the current top-k
+// Jaccard coefficients, the latest coefficient of a specific tag pair, the
+// installed partition assignment, and the full communication/load/dataflow
+// statistics.
+//
+// Queries never block the hot path: a background goroutine refreshes a
+// cached core.Snapshot at a configurable interval, and every read endpoint
+// except the pair lookup serves from that cache. The pair lookup goes to
+// the Tracker directly (its read methods take the Tracker's own lock, held
+// only briefly), so it returns point data fresher than the cache without
+// scanning the full coefficient table.
+//
+// Endpoints (all GET, all JSON):
+//
+//	/topk?k=N           top-N coefficients so far (N capped at Config.TopK)
+//	/pairs/{tagA}/{tagB} latest coefficient reported for the pair
+//	/partition          installed partitions: epoch, per-partition tags+load
+//	/stats              full snapshot: counters, quality stats, dataflow
+//	/healthz            liveness plus run state
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/jaccard"
+	"repro/internal/partition"
+	"repro/internal/tagset"
+)
+
+// Config tunes the query service.
+type Config struct {
+	// TopK is the number of coefficients kept in the cached snapshot and
+	// the cap on /topk?k=N. Default 100.
+	TopK int
+	// Refresh is the snapshot cache refresh interval. Default 250ms.
+	Refresh time.Duration
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.TopK <= 0 {
+		c.TopK = 100
+	}
+	if c.Refresh <= 0 {
+		c.Refresh = 250 * time.Millisecond
+	}
+	return c
+}
+
+// Server caches pipeline snapshots and serves the query endpoints. Create
+// one with New after starting the pipeline; its refresh loop stops on its
+// own when the run drains (taking one final snapshot first), or earlier
+// via Close.
+type Server struct {
+	pipe   *core.Pipeline
+	handle *core.Handle
+	dict   *tagset.Dictionary
+	cfg    Config
+
+	mu   sync.RWMutex
+	snap *core.Snapshot
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	loopDone chan struct{}
+}
+
+// New returns a Server for a started pipeline and launches its refresh
+// loop. dict must be the dictionary the stream's tags were interned with;
+// it renders tag identifiers back to strings in every response.
+func New(pipe *core.Pipeline, handle *core.Handle, dict *tagset.Dictionary, cfg Config) *Server {
+	s := &Server{
+		pipe:     pipe,
+		handle:   handle,
+		dict:     dict,
+		cfg:      cfg.withDefaults(),
+		stop:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	s.RefreshNow()
+	go s.refreshLoop()
+	return s
+}
+
+// refreshLoop re-snapshots the pipeline every cfg.Refresh until the run
+// drains or Close is called, then takes one final snapshot so the cache
+// converges to the run's final state.
+func (s *Server) refreshLoop() {
+	defer close(s.loopDone)
+	t := time.NewTicker(s.cfg.Refresh)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.RefreshNow()
+		case <-s.handle.Done():
+			s.RefreshNow()
+			return
+		case <-s.stop:
+			s.RefreshNow()
+			return
+		}
+	}
+}
+
+// RefreshNow re-snapshots the pipeline immediately. Handlers keep serving
+// the previous snapshot until the new one is swapped in.
+func (s *Server) RefreshNow() {
+	snap := s.pipe.Snapshot(s.cfg.TopK)
+	s.mu.Lock()
+	s.snap = snap
+	s.mu.Unlock()
+}
+
+// Close stops the refresh loop (after a final refresh) and waits for it to
+// exit. The handlers stay functional on the last cached snapshot.
+func (s *Server) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.loopDone
+}
+
+// Snapshot returns the currently cached snapshot.
+func (s *Server) Snapshot() *core.Snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.snap
+}
+
+// Handler returns the route multiplexer serving all endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /topk", s.handleTopK)
+	mux.HandleFunc("GET /pairs/{tagA}/{tagB}", s.handlePair)
+	mux.HandleFunc("GET /partition", s.handlePartition)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// Coefficient is the JSON rendering of one Jaccard coefficient.
+type Coefficient struct {
+	Tags []string `json:"tags"`
+	J    float64  `json:"j"`
+	CN   int64    `json:"cn"`
+}
+
+func (s *Server) coefficients(in []jaccard.Coefficient) []Coefficient {
+	out := make([]Coefficient, len(in))
+	for i, c := range in {
+		out[i] = Coefficient{Tags: s.dict.Strings(c.Tags), J: c.J, CN: c.CN}
+	}
+	return out
+}
+
+// TopKResponse is the /topk payload.
+type TopKResponse struct {
+	DocsProcessed int64         `json:"docs_processed"`
+	Periods       int           `json:"periods"`
+	K             int           `json:"k"`
+	Top           []Coefficient `json:"top"`
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	snap := s.Snapshot()
+	k := 20
+	if q := r.URL.Query().Get("k"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "k must be a positive integer")
+			return
+		}
+		k = n
+	}
+	if k > s.cfg.TopK {
+		k = s.cfg.TopK
+	}
+	top := snap.TopK
+	if len(top) > k {
+		top = top[:k]
+	}
+	writeJSON(w, TopKResponse{
+		DocsProcessed: snap.DocsProcessed,
+		Periods:       len(snap.Periods),
+		K:             k,
+		Top:           s.coefficients(top),
+	})
+}
+
+// PairResponse is the /pairs/{tagA}/{tagB} payload.
+type PairResponse struct {
+	Tags   []string `json:"tags"`
+	J      float64  `json:"j"`
+	CN     int64    `json:"cn"`
+	Period int64    `json:"period"`
+}
+
+// handlePair looks the pair up in the Tracker directly — point queries are
+// cheap under the Tracker's lock and this keeps them as fresh as the last
+// Calculator report rather than the last cache refresh.
+func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
+	a, okA := s.dict.Lookup(r.PathValue("tagA"))
+	b, okB := s.dict.Lookup(r.PathValue("tagB"))
+	if !okA || !okB {
+		httpError(w, http.StatusNotFound, "unknown tag")
+		return
+	}
+	set := tagset.New(a, b)
+	if set.Len() != 2 {
+		httpError(w, http.StatusBadRequest, "tags must differ")
+		return
+	}
+	c, period, ok := s.pipe.Tracker().Lookup(set.Key())
+	if !ok {
+		httpError(w, http.StatusNotFound, "no coefficient reported for pair")
+		return
+	}
+	writeJSON(w, PairResponse{Tags: s.dict.Strings(c.Tags), J: c.J, CN: c.CN, Period: period})
+}
+
+// PartitionInfo is one partition in the /partition payload.
+type PartitionInfo struct {
+	Index int      `json:"index"`
+	Load  int64    `json:"load"`
+	Tags  []string `json:"tags"`
+}
+
+// PartitionResponse is the /partition payload.
+type PartitionResponse struct {
+	Epoch      int             `json:"epoch"`
+	Merges     int             `json:"merges"`
+	Pending    bool            `json:"repartition_pending"`
+	Partitions []PartitionInfo `json:"partitions"`
+}
+
+func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
+	snap := s.Snapshot()
+	resp := PartitionResponse{
+		Epoch:      snap.Epoch,
+		Merges:     snap.Merges,
+		Pending:    snap.RepartitionPending,
+		Partitions: make([]PartitionInfo, len(snap.Partitions)),
+	}
+	for i, p := range snap.Partitions {
+		resp.Partitions[i] = s.partitionInfo(i, p)
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) partitionInfo(i int, p partition.Partition) PartitionInfo {
+	return PartitionInfo{Index: i, Load: p.Load, Tags: s.dict.Strings(p.Tags)}
+}
+
+// StatsResponse is the /stats payload: the full snapshot with tag sets
+// rendered to strings.
+type StatsResponse struct {
+	DocsProcessed     int64 `json:"docs_processed"`
+	DocsBeforeInstall int64 `json:"docs_before_install"`
+	NotifiedDocs      int64 `json:"notified_docs"`
+	Notifications     int64 `json:"notifications"`
+	UncoveredDocs     int64 `json:"uncovered_docs"`
+
+	Communication float64 `json:"communication"`
+	LoadGini      float64 `json:"load_gini"`
+	PerCalculator []int64 `json:"per_calculator"`
+
+	Epoch              int  `json:"epoch"`
+	RepartitionPending bool `json:"repartition_pending"`
+	Repartitions       int  `json:"repartitions"`
+	RepartitionsComm   int  `json:"repartitions_comm"`
+	RepartitionsLoad   int  `json:"repartitions_load"`
+	RepartitionsBoth   int  `json:"repartitions_both"`
+	SingleAdditions    int  `json:"single_additions"`
+	Merges             int  `json:"merges"`
+
+	Periods               []int64 `json:"periods"`
+	CoefficientsReceived  int64   `json:"coefficients_received"`
+	CoefficientsDuplicate int64   `json:"coefficients_duplicate"`
+
+	EmittedByComponent  map[string]int64 `json:"emitted_by_component"`
+	ReceivedByComponent map[string]int64 `json:"received_by_component"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.Snapshot()
+	writeJSON(w, StatsResponse{
+		DocsProcessed:     snap.DocsProcessed,
+		DocsBeforeInstall: snap.DocsBeforeInstall,
+		NotifiedDocs:      snap.NotifiedDocs,
+		Notifications:     snap.Notifications,
+		UncoveredDocs:     snap.UncoveredDocs,
+
+		Communication: snap.Communication,
+		LoadGini:      snap.LoadGini,
+		PerCalculator: snap.PerCalculator,
+
+		Epoch:              snap.Epoch,
+		RepartitionPending: snap.RepartitionPending,
+		Repartitions:       snap.Repartitions,
+		RepartitionsComm:   snap.RepartitionsComm,
+		RepartitionsLoad:   snap.RepartitionsLoad,
+		RepartitionsBoth:   snap.RepartitionsBoth,
+		SingleAdditions:    snap.SingleAdditions,
+		Merges:             snap.Merges,
+
+		Periods:               snap.Periods,
+		CoefficientsReceived:  snap.CoefficientsReceived,
+		CoefficientsDuplicate: snap.CoefficientsDuplicate,
+
+		EmittedByComponent:  snap.EmittedByComponent,
+		ReceivedByComponent: snap.ReceivedByComponent,
+	})
+}
+
+// HealthResponse is the /healthz payload.
+type HealthResponse struct {
+	Status        string `json:"status"`
+	Running       bool   `json:"running"`
+	DocsProcessed int64  `json:"docs_processed"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, HealthResponse{
+		Status:        "ok",
+		Running:       s.handle.Running(),
+		DocsProcessed: s.Snapshot().DocsProcessed,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // best effort; the client is gone on error
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg}) //nolint:errcheck
+}

@@ -223,7 +223,12 @@ func (ex *conExecutor) done(n int64) {
 		ex.signalQuiet()
 	}
 	if left < maxSpoutPending/2 {
+		// The broadcast must hold throttleMu: a spout that has checked the
+		// counter but not yet parked in Wait would otherwise miss it and —
+		// if this was the last in-flight tuple — sleep forever.
+		ex.throttleMu.Lock()
 		ex.throttle.Broadcast()
+		ex.throttleMu.Unlock()
 	}
 }
 
@@ -250,12 +255,51 @@ func (ex *conExecutor) signalQuiet() {
 	ex.quietMu.Unlock()
 }
 
+// Run is a handle on a topology started with StartConcurrent: the dataflow
+// keeps running in the background while the caller is free to read the
+// topology's thread-safe state (Stats, and any bolt state the bolts
+// themselves guard). Wait blocks until the run has fully drained.
+type Run struct {
+	tp    *Topology
+	done  chan struct{}
+	stats *Stats
+}
+
+// Done returns a channel closed when the run has fully drained (spouts
+// exhausted, dataflow quiescent, Cleanup complete).
+func (r *Run) Done() <-chan struct{} { return r.done }
+
+// Running reports whether the dataflow is still in flight.
+func (r *Run) Running() bool {
+	select {
+	case <-r.done:
+		return false
+	default:
+		return true
+	}
+}
+
+// Wait blocks until the run completes and returns the topology's stats.
+func (r *Run) Wait() *Stats {
+	<-r.done
+	return r.stats
+}
+
 // RunConcurrent executes the topology with one goroutine per task. Spout
 // tasks run their own loops; bolt tasks process their mailboxes. After all
 // spouts finish and the dataflow quiesces, the workers stop and Cleanup
 // runs single-threaded (its emissions are processed sequentially), matching
 // RunSequential's semantics.
 func (tp *Topology) RunConcurrent() *Stats {
+	return tp.StartConcurrent().Wait()
+}
+
+// StartConcurrent launches the concurrent executor in the background and
+// returns immediately with a handle. While the run is live, the topology's
+// Stats may be read at any time (they are internally locked); bolts that
+// expose snapshot methods guarded by their own locks may likewise be
+// queried mid-run — this is the read path the live query service uses.
+func (tp *Topology) StartConcurrent() *Run {
 	ex := &conExecutor{tp: tp, quiet: make(chan struct{})}
 	ex.throttle = sync.NewCond(&ex.throttleMu)
 	ex.boxes = make([]*mailbox, len(tp.tasks))
@@ -306,31 +350,35 @@ func (tp *Topology) RunConcurrent() *Stats {
 		}(t)
 	}
 
-	ex.spoutsWG.Wait()
-	atomic.StoreInt32(&ex.spoutsDn, 1)
-	if atomic.LoadInt64(&ex.inflight) == 0 {
-		ex.signalQuiet()
-	}
-	<-ex.quiet
+	r := &Run{tp: tp, done: make(chan struct{}), stats: tp.stats}
+	go func() {
+		defer close(r.done)
+		ex.spoutsWG.Wait()
+		atomic.StoreInt32(&ex.spoutsDn, 1)
+		if atomic.LoadInt64(&ex.inflight) == 0 {
+			ex.signalQuiet()
+		}
+		<-ex.quiet
 
-	for _, b := range ex.boxes {
-		b.close()
-	}
-	workersWG.Wait()
+		for _, b := range ex.boxes {
+			b.close()
+		}
+		workersWG.Wait()
 
-	// Single-threaded cleanup phase reusing the sequential machinery.
-	sq := &seqExecutor{tp: tp}
-	for _, n := range tp.nodes {
-		for _, id := range n.tasks {
-			t := tp.tasks[id]
-			if t.bolt == nil {
-				continue
-			}
-			if cl, ok := t.bolt.(Cleaner); ok {
-				cl.Cleanup(&seqCollector{ex: sq, task: t})
-				sq.drain()
+		// Single-threaded cleanup phase reusing the sequential machinery.
+		sq := &seqExecutor{tp: tp}
+		for _, n := range tp.nodes {
+			for _, id := range n.tasks {
+				t := tp.tasks[id]
+				if t.bolt == nil {
+					continue
+				}
+				if cl, ok := t.bolt.(Cleaner); ok {
+					cl.Cleanup(&seqCollector{ex: sq, task: t})
+					sq.drain()
+				}
 			}
 		}
-	}
-	return tp.stats
+	}()
+	return r
 }

@@ -11,7 +11,10 @@
 // executor runs every task on its own goroutine with unbounded mailboxes
 // (cycles in the topology — present in the paper's design, where
 // Disseminators talk back to Merger and Partitioners — therefore cannot
-// deadlock) and detects quiescence with an in-flight tuple counter.
+// deadlock) and detects quiescence with an in-flight tuple counter. The
+// concurrent executor can also be started in the background
+// (StartConcurrent), returning a Run handle for live-state reads while
+// the dataflow is in flight.
 //
 // Shuffle grouping distributes round-robin per producer task, which meets
 // Storm's "approximately equal" contract while keeping runs deterministic.
@@ -336,6 +339,24 @@ func (s *Stats) Received(component string) int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.received[component]
+}
+
+// Totals returns copies of the per-component emitted and received counter
+// maps. Like the single-component getters it is safe to call while a
+// concurrent run is in flight; the copies are a consistent point-in-time
+// view.
+func (s *Stats) Totals() (emitted, received map[string]int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	emitted = make(map[string]int64, len(s.emitted))
+	for k, v := range s.emitted {
+		emitted[k] = v
+	}
+	received = make(map[string]int64, len(s.received))
+	for k, v := range s.received {
+		received[k] = v
+	}
+	return emitted, received
 }
 
 // TaskReceived returns per-task received counts for the named component.
