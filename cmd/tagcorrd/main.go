@@ -52,6 +52,8 @@ func main() {
 		topk    = flag.Int("topk", 100, "coefficients kept in the snapshot cache")
 		refresh = flag.Duration("refresh", 250*time.Millisecond, "snapshot cache refresh interval")
 		periods = flag.Int("keep-periods", 12, "reporting periods retained in memory (0: keep all)")
+		shards  = flag.Int("tracker-shards", 0, "Tracker lock shards (0: default 16)")
+		evicted = flag.Int("evicted-pairs", 4096, "LRU capacity for coefficients pruned by -keep-periods (0: off)")
 	)
 	flag.Parse()
 
@@ -61,9 +63,12 @@ func main() {
 	cfg.P = *p
 	cfg.Thr = *thr
 	// A daemon runs indefinitely: bound the Tracker's memory and skip the
-	// batch-oriented figure time series.
+	// batch-oriented figure time series. The evicted-pair LRU keeps point
+	// lookups answerable across the retention window.
 	cfg.KeepPeriods = *periods
 	cfg.NoSeries = true
+	cfg.TrackerShards = *shards
+	cfg.EvictedPairs = *evicted
 
 	dict := tagset.NewDictionary()
 	src, err := buildSource(*in, *minutes, *seed, dict)

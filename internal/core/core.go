@@ -140,7 +140,7 @@ func NewPipeline(cfg Config, src DocumentSource) (*Pipeline, error) {
 	}, cfg.K).Direct("disseminator")
 
 	b.Bolt("tracker", func() storm.Bolt {
-		p.tracker = operators.NewTracker()
+		p.tracker = operators.NewTrackerWith(cfg.TrackerShards, cfg.TrackerTopK, cfg.EvictedPairs)
 		p.tracker.SetRetention(cfg.KeepPeriods)
 		return p.tracker
 	}, 1).Shuffle("calculator")

@@ -12,7 +12,11 @@ import (
 // Snapshot is a consistent point-in-time view of a pipeline while (or
 // after) it runs: the current top-k correlations, communication and load
 // statistics, the installed partitions, and the raw dataflow counters.
-// Every slice and map is a deep copy owned by the caller.
+// Every slice and map is a copy owned by the caller, with one caveat: the
+// tagset.Set values inside coefficients and partitions share their backing
+// arrays with live operator state. Sets are immutable by the tagset
+// package's contract, so reading them is always safe — but they must not
+// be mutated in place.
 //
 // Unlike Result, which is only available once the stream has drained, a
 // Snapshot can be taken at any moment of a run started with Start (or
@@ -61,6 +65,11 @@ type Snapshot struct {
 	CoefficientsReceived  int64
 	CoefficientsDuplicate int64
 
+	// Tracker describes the Tracker's internal structure: shard count, the
+	// incrementally maintained top-k heaps, retention pruning, and the
+	// evicted-coefficient LRU.
+	Tracker operators.TrackerStats
+
 	// EmittedByComponent / ReceivedByComponent are the storm substrate's
 	// per-component dataflow counters.
 	EmittedByComponent  map[string]int64
@@ -72,14 +81,17 @@ type Snapshot struct {
 // from any goroutine at any time between NewPipeline and the end of the
 // process — before the run, mid-run under either executor, or after the
 // run — because every operator guards the state read here with its own
-// lock. Quantities accumulated per Disseminator are summed across
-// instances (with the paper's single-Disseminator configuration they are
-// exact).
+// lock. The top-k view is read from the Tracker's incrementally maintained
+// shard heaps (for k within the Tracker's top-k bound), so a snapshot's
+// cost does not grow with the number of retained coefficients. Quantities
+// accumulated per Disseminator are summed across instances (with the
+// paper's single-Disseminator configuration they are exact).
 func (p *Pipeline) Snapshot(k int) *Snapshot {
 	s := &Snapshot{
 		TopK:    p.tracker.TopK(k),
 		Periods: p.tracker.Periods(),
 		Merges:  p.merger.MergeCount(),
+		Tracker: p.tracker.StatsSnapshot(),
 	}
 	s.CoefficientsReceived, s.CoefficientsDuplicate = p.tracker.Counts()
 	s.Partitions = p.merger.PartitionsSnapshot()

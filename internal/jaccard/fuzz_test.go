@@ -1,0 +1,92 @@
+package jaccard
+
+import (
+	"testing"
+
+	"repro/internal/tagset"
+)
+
+// decodeDocs turns fuzz bytes into a deterministic document stream: each
+// byte contributes one tag (from a small universe, so co-occurrence is
+// dense) and a high bit that ends the current document.
+func decodeDocs(data []byte) [][]tagset.Tag {
+	var docs [][]tagset.Tag
+	var cur []tagset.Tag
+	for _, b := range data {
+		cur = append(cur, tagset.Tag(b&0x0f))
+		if b&0x80 != 0 || len(cur) >= 6 {
+			docs = append(docs, cur)
+			cur = nil
+		}
+	}
+	if len(cur) > 0 {
+		docs = append(docs, cur)
+	}
+	return docs
+}
+
+// FuzzCounterTableCoefficients feeds arbitrary document streams into a
+// CounterTable and checks the invariants of the Calculator's report: the
+// coefficient list is ordered (descending J, ties by ascending tagset
+// key), every coefficient is internally consistent with the table's
+// counters (CN = intersection count, J = CN / inclusion–exclusion union,
+// J in (0, 1]), and the per-set Jaccard query round-trips to the same
+// value.
+func FuzzCounterTableCoefficients(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x82})
+	f.Add([]byte{0x01, 0x02, 0x83, 0x01, 0x02, 0x83})
+	f.Add([]byte{0x11, 0x12, 0x93, 0x11, 0x94, 0x12, 0x94})
+	f.Add([]byte{0x01, 0x01, 0x81, 0x02, 0x03, 0x04, 0x85, 0x0f, 0x8f})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			return
+		}
+		ct := NewCounterTable()
+		var docs int64
+		for _, tags := range decodeDocs(data) {
+			s := tagset.New(tags...)
+			ct.Observe(s)
+			if !s.IsEmpty() {
+				docs++
+			}
+		}
+		if ct.Docs() != docs {
+			t.Fatalf("Docs() = %d, observed %d non-empty documents", ct.Docs(), docs)
+		}
+
+		coeffs := ct.Coefficients(1)
+		for i, c := range coeffs {
+			if c.Tags.Len() < 2 {
+				t.Fatalf("coefficient %d over %d tags", i, c.Tags.Len())
+			}
+			if c.CN < 1 || c.CN > docs {
+				t.Fatalf("coefficient %d: CN = %d with %d documents", i, c.CN, docs)
+			}
+			if c.CN != ct.Count(c.Tags) {
+				t.Fatalf("coefficient %d: CN = %d, table counts %d", i, c.CN, ct.Count(c.Tags))
+			}
+			union := ct.UnionCount(c.Tags)
+			if union < c.CN {
+				t.Fatalf("coefficient %d: union %d below intersection %d", i, union, c.CN)
+			}
+			if want := float64(c.CN) / float64(union); c.J != want {
+				t.Fatalf("coefficient %d: J = %g, want %d/%d", i, c.J, c.CN, union)
+			}
+			if c.J <= 0 || c.J > 1 {
+				t.Fatalf("coefficient %d: J = %g outside (0, 1]", i, c.J)
+			}
+			if j, ok := ct.Jaccard(c.Tags); !ok || j != c.J {
+				t.Fatalf("coefficient %d: Jaccard round-trip = (%g, %v), want (%g, true)", i, j, ok, c.J)
+			}
+			if i > 0 {
+				prev := coeffs[i-1]
+				if prev.J < c.J || (prev.J == c.J && prev.Tags.Key() >= c.Tags.Key()) {
+					t.Fatalf("ordering violated at %d: {J:%g %v} after {J:%g %v}",
+						i, c.J, c.Tags, prev.J, prev.Tags)
+				}
+			}
+		}
+	})
+}

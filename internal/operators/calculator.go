@@ -1,14 +1,9 @@
 package operators
 
 import (
-	"container/heap"
-	"sort"
-	"sync"
-
 	"repro/internal/jaccard"
 	"repro/internal/storm"
 	"repro/internal/stream"
-	"repro/internal/tagset"
 )
 
 // Calculator counts the subsets of the notifications it receives and, at
@@ -81,215 +76,4 @@ func (c *Calculator) flush(out storm.Collector) {
 // alignUp returns the smallest multiple of step strictly greater than t.
 func alignUp(t, step stream.Millis) stream.Millis {
 	return (t/step + 1) * step
-}
-
-// Tracker collects the Jaccard coefficients from all Calculators. When the
-// same tagset is reported by multiple Calculators in one period (tags
-// replicated across partitions), it keeps the coefficient with the largest
-// counter CN — the longest-tracked one (Section 6.2).
-//
-// All of the Tracker's state is guarded by an internal mutex, so its read
-// methods (Periods, Report, All, TopK, Lookup, Counts) may be called from
-// other goroutines while a concurrent pipeline run is still feeding it —
-// this is the live view behind Pipeline.Snapshot and the HTTP query
-// service.
-type Tracker struct {
-	mu      sync.Mutex
-	periods map[int64]map[tagset.Key]jaccard.Coefficient
-	keep    int // retained periods; 0 keeps everything
-
-	// Received counts all incoming coefficients; Duplicates counts those
-	// that collided with an existing report for the same tagset and period.
-	// Read them via Counts while a run is in flight.
-	Received   int64
-	Duplicates int64
-}
-
-// NewTracker returns a Tracker bolt.
-func NewTracker() *Tracker {
-	return &Tracker{periods: make(map[int64]map[tagset.Key]jaccard.Coefficient)}
-}
-
-// SetRetention bounds the Tracker to the n most recent reporting periods
-// (0 keeps everything — the batch default). Older periods are pruned as
-// new ones open, so a long-running service's memory stays proportional to
-// n. Call before the run starts; All/TopK/Lookup then cover only the
-// retained periods.
-func (tr *Tracker) SetRetention(n int) {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
-	tr.keep = n
-}
-
-// Prepare implements storm.Bolt.
-func (tr *Tracker) Prepare(*storm.TaskContext) {}
-
-// Execute implements storm.Bolt.
-func (tr *Tracker) Execute(t storm.Tuple, _ storm.Collector) {
-	msg := t.Values[0].(CoeffMsg)
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
-	tr.Received++
-	m := tr.periods[msg.Period]
-	if m == nil {
-		m = make(map[tagset.Key]jaccard.Coefficient)
-		tr.periods[msg.Period] = m
-		for tr.keep > 0 && len(tr.periods) > tr.keep {
-			oldest := msg.Period
-			for p := range tr.periods {
-				if p < oldest {
-					oldest = p
-				}
-			}
-			delete(tr.periods, oldest)
-		}
-	}
-	k := msg.Coeff.Tags.Key()
-	if prev, ok := m[k]; ok {
-		tr.Duplicates++
-		if msg.Coeff.CN <= prev.CN {
-			return
-		}
-	}
-	m[k] = msg.Coeff
-}
-
-// Periods returns the reporting period ids in ascending order.
-func (tr *Tracker) Periods() []int64 {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
-	return tr.periodsLocked()
-}
-
-func (tr *Tracker) periodsLocked() []int64 {
-	out := make([]int64, 0, len(tr.periods))
-	for p := range tr.periods {
-		out = append(out, p)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-// Report returns the deduplicated coefficients of one period, sorted by
-// descending J.
-func (tr *Tracker) Report(period int64) []jaccard.Coefficient {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
-	return tr.reportLocked(period)
-}
-
-func (tr *Tracker) reportLocked(period int64) []jaccard.Coefficient {
-	m := tr.periods[period]
-	out := make([]jaccard.Coefficient, 0, len(m))
-	for _, c := range m {
-		out = append(out, c)
-	}
-	sortCoefficients(out)
-	return out
-}
-
-// All returns every deduplicated coefficient across periods.
-func (tr *Tracker) All() []jaccard.Coefficient {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
-	var out []jaccard.Coefficient
-	for _, p := range tr.periodsLocked() {
-		out = append(out, tr.reportLocked(p)...)
-	}
-	return out
-}
-
-// TopK returns the k highest-Jaccard coefficients across every period seen
-// so far, deduplicated per period exactly as All. Ties break by descending
-// CN, then the tagset key, so the result is deterministic for a fixed
-// Tracker state. k <= 0 returns all.
-//
-// The selection is a bounded heap over an unsorted gather, so the
-// Tracker's lock is held only to copy coefficients, never to sort them —
-// a live snapshot of a large run must not stall the Calculators' reports.
-func (tr *Tracker) TopK(k int) []jaccard.Coefficient {
-	tr.mu.Lock()
-	n := 0
-	for _, m := range tr.periods {
-		n += len(m)
-	}
-	all := make([]jaccard.Coefficient, 0, n)
-	for _, m := range tr.periods {
-		for _, c := range m {
-			all = append(all, c)
-		}
-	}
-	tr.mu.Unlock()
-
-	if k > 0 && len(all) > k {
-		// Min-heap of the best k seen: the root is the worst of the
-		// current best, evicted whenever a better candidate arrives.
-		h := coeffHeap(all[:k:k])
-		heap.Init(&h)
-		for _, c := range all[k:] {
-			if coeffBefore(c, h[0]) {
-				h[0] = c
-				heap.Fix(&h, 0)
-			}
-		}
-		all = h
-	}
-	sortCoefficients(all)
-	return all
-}
-
-// coeffBefore is the top-k ranking: descending J, then descending CN, then
-// the tagset key.
-func coeffBefore(a, b jaccard.Coefficient) bool {
-	if a.J != b.J {
-		return a.J > b.J
-	}
-	if a.CN != b.CN {
-		return a.CN > b.CN
-	}
-	return a.Tags.Key() < b.Tags.Key()
-}
-
-// coeffHeap is a min-heap under coeffBefore: the root ranks last.
-type coeffHeap []jaccard.Coefficient
-
-func (h coeffHeap) Len() int            { return len(h) }
-func (h coeffHeap) Less(i, j int) bool  { return coeffBefore(h[j], h[i]) }
-func (h coeffHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *coeffHeap) Push(x interface{}) { *h = append(*h, x.(jaccard.Coefficient)) }
-func (h *coeffHeap) Pop() interface{} {
-	old := *h
-	x := old[len(old)-1]
-	*h = old[:len(old)-1]
-	return x
-}
-
-// Lookup returns the most recent coefficient reported for the given tagset
-// key, together with its reporting period. It scans periods newest-first,
-// so a pair tracked across several periods yields its latest value.
-func (tr *Tracker) Lookup(k tagset.Key) (jaccard.Coefficient, int64, bool) {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
-	ps := tr.periodsLocked()
-	for i := len(ps) - 1; i >= 0; i-- {
-		if c, ok := tr.periods[ps[i]][k]; ok {
-			return c, ps[i], true
-		}
-	}
-	return jaccard.Coefficient{}, 0, false
-}
-
-// Counts returns the received and duplicate counters under the lock, for
-// mid-run reads.
-func (tr *Tracker) Counts() (received, duplicates int64) {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
-	return tr.Received, tr.Duplicates
-}
-
-// sortCoefficients orders by descending J, then descending CN, then the
-// tagset key — the deterministic "top correlations first" order used by
-// reports and the live top-k view.
-func sortCoefficients(out []jaccard.Coefficient) {
-	sort.Slice(out, func(i, j int) bool { return coeffBefore(out[i], out[j]) })
 }

@@ -127,6 +127,25 @@ type Config struct {
 	// (cmd/tagcorrd) set it; the scalar statistics are unaffected.
 	NoSeries bool
 
+	// TrackerShards sets how many lock shards the Tracker splits its
+	// retained coefficients into (rounded up to a power of two); reports
+	// lock only the shard owning their tag-pair hash. 0 uses the default
+	// (16).
+	TrackerShards int
+
+	// TrackerTopK bounds the incrementally maintained per-shard top-k
+	// heaps: Tracker.TopK(k) with k at or below the bound is answered from
+	// the maintained heaps without scanning the retained coefficients. 0
+	// uses the default (128). The query service raises it to its own top-k
+	// size on startup.
+	TrackerTopK int
+
+	// EvictedPairs is the capacity of the Tracker's LRU of coefficients
+	// evicted by KeepPeriods pruning, letting point lookups (the /pairs
+	// endpoint) answer for pairs whose reporting periods were pruned. 0 —
+	// the batch default — disables the LRU.
+	EvictedPairs int
+
 	// CalibrateRefs replaces the Merger's partition-level reference
 	// quality with the first statistics batch measured on live traffic
 	// after each install. The paper's design (and the default) uses the
@@ -188,6 +207,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("operators: autoScaleLoad = %d", c.AutoScaleLoad)
 	case c.KeepPeriods < 0:
 		return fmt.Errorf("operators: keepPeriods = %d", c.KeepPeriods)
+	case c.TrackerShards < 0:
+		return fmt.Errorf("operators: trackerShards = %d", c.TrackerShards)
+	case c.TrackerTopK < 0:
+		return fmt.Errorf("operators: trackerTopK = %d", c.TrackerTopK)
+	case c.EvictedPairs < 0:
+		return fmt.Errorf("operators: evictedPairs = %d", c.EvictedPairs)
 	}
 	return nil
 }

@@ -55,6 +55,9 @@ func TestConfigValidate(t *testing.T) {
 		func(c *Config) { c.MaxTags = 0 },
 		func(c *Config) { c.Parsers = 0 },
 		func(c *Config) { c.Disseminators = 0 },
+		func(c *Config) { c.TrackerShards = -1 },
+		func(c *Config) { c.TrackerTopK = -1 },
+		func(c *Config) { c.EvictedPairs = -1 },
 	}
 	for i, m := range mutations {
 		cfg := DefaultConfig()

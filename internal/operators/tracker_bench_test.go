@@ -1,0 +1,79 @@
+package operators
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/jaccard"
+	"repro/internal/tagset"
+)
+
+// populateTracker fills tr with n distinct retained pairs spread over four
+// reporting periods, with deterministic pseudo-random coefficients.
+func populateTracker(tr *Tracker, n int) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < n; i++ {
+		a := tagset.Tag(2 * i)
+		tags := tagset.New(a, a+1)
+		period := int64(1 + i%4)
+		tr.Execute(coeffTuple(period, tags, rng.Float64(), int64(1+rng.Intn(50))), nil)
+	}
+}
+
+var benchCoeffs []jaccard.Coefficient
+
+// BenchmarkTrackerTopK compares the incrementally maintained top-k read
+// (merge the shard heaps, select k) against the pre-sharding gather-copy
+// path (scan every retained coefficient) across retained-pair counts. The
+// incremental path's cost is flat in n; the scan grows linearly.
+func BenchmarkTrackerTopK(b *testing.B) {
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
+		tr := NewTrackerWith(16, 128, 0)
+		populateTracker(tr, n)
+		b.Run(fmt.Sprintf("incremental/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				benchCoeffs = tr.TopK(100)
+			}
+		})
+		b.Run(fmt.Sprintf("scan/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				benchCoeffs = tr.topKScan(100)
+			}
+		})
+	}
+}
+
+// BenchmarkTrackerReport measures the report (write) path under parallel
+// load at different shard counts: shards=1 approximates the pre-sharding
+// single-mutex Tracker, shards=16 is the default layout.
+func BenchmarkTrackerReport(b *testing.B) {
+	for _, shards := range []int{1, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			tr := NewTrackerWith(shards, 128, 0)
+			tr.SetRetention(8)
+			// Pre-build the tagsets so the benchmark isolates Tracker work.
+			const poolSize = 1 << 15
+			pool := make([]tagset.Set, poolSize)
+			for i := range pool {
+				a := tagset.Tag(2 * i)
+				pool[i] = tagset.New(a, a+1)
+			}
+			var next int64
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(atomic.AddInt64(&next, 1)))
+				i := 0
+				for pb.Next() {
+					tags := pool[rng.Intn(poolSize)]
+					period := int64(1 + i/200_000)
+					tr.Execute(coeffTuple(period, tags, rng.Float64(), int64(1+rng.Intn(50))), nil)
+					i++
+				}
+			})
+		})
+	}
+}

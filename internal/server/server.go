@@ -74,7 +74,10 @@ type Server struct {
 
 // New returns a Server for a started pipeline and launches its refresh
 // loop. dict must be the dictionary the stream's tags were interned with;
-// it renders tag identifiers back to strings in every response.
+// it renders tag identifiers back to strings in every response. The
+// Tracker's maintained top-k bound is raised to the configured TopK so
+// every cached snapshot is served from the incremental heaps rather than a
+// scan.
 func New(pipe *core.Pipeline, handle *core.Handle, dict *tagset.Dictionary, cfg Config) *Server {
 	s := &Server{
 		pipe:     pipe,
@@ -84,6 +87,7 @@ func New(pipe *core.Pipeline, handle *core.Handle, dict *tagset.Dictionary, cfg 
 		stop:     make(chan struct{}),
 		loopDone: make(chan struct{}),
 	}
+	pipe.Tracker().EnsureTopKBound(s.cfg.TopK)
 	s.RefreshNow()
 	go s.refreshLoop()
 	return s
@@ -193,17 +197,23 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// PairResponse is the /pairs/{tagA}/{tagB} payload.
+// PairResponse is the /pairs/{tagA}/{tagB} payload. Evicted marks answers
+// served from the Tracker's LRU of pruned coefficients: the pair's
+// reporting periods have left the retention window, and the value is the
+// latest one seen before pruning.
 type PairResponse struct {
-	Tags   []string `json:"tags"`
-	J      float64  `json:"j"`
-	CN     int64    `json:"cn"`
-	Period int64    `json:"period"`
+	Tags    []string `json:"tags"`
+	J       float64  `json:"j"`
+	CN      int64    `json:"cn"`
+	Period  int64    `json:"period"`
+	Evicted bool     `json:"evicted,omitempty"`
 }
 
 // handlePair looks the pair up in the Tracker directly — point queries are
-// cheap under the Tracker's lock and this keeps them as fresh as the last
-// Calculator report rather than the last cache refresh.
+// cheap under the owning shard's lock and this keeps them as fresh as the
+// last Calculator report rather than the last cache refresh. Pairs whose
+// periods were pruned by retention are answered from the evicted LRU when
+// the pipeline has one configured.
 func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
 	a, okA := s.dict.Lookup(r.PathValue("tagA"))
 	b, okB := s.dict.Lookup(r.PathValue("tagB"))
@@ -216,12 +226,12 @@ func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "tags must differ")
 		return
 	}
-	c, period, ok := s.pipe.Tracker().Lookup(set.Key())
+	c, period, evicted, ok := s.pipe.Tracker().LookupDetail(set.Key())
 	if !ok {
 		httpError(w, http.StatusNotFound, "no coefficient reported for pair")
 		return
 	}
-	writeJSON(w, PairResponse{Tags: s.dict.Strings(c.Tags), J: c.J, CN: c.CN, Period: period})
+	writeJSON(w, PairResponse{Tags: s.dict.Strings(c.Tags), J: c.J, CN: c.CN, Period: period, Evicted: evicted})
 }
 
 // PartitionInfo is one partition in the /partition payload.
@@ -283,8 +293,26 @@ type StatsResponse struct {
 	CoefficientsReceived  int64   `json:"coefficients_received"`
 	CoefficientsDuplicate int64   `json:"coefficients_duplicate"`
 
+	Tracker TrackerStats `json:"tracker"`
+
 	EmittedByComponent  map[string]int64 `json:"emitted_by_component"`
 	ReceivedByComponent map[string]int64 `json:"received_by_component"`
+}
+
+// TrackerStats is the /stats rendering of the Tracker's internal structure:
+// shard layout, incremental top-k heaps, retention pruning, evicted LRU.
+type TrackerStats struct {
+	Shards          int   `json:"shards"`
+	TopKBound       int   `json:"topk_bound"`
+	Retained        int   `json:"retained_coefficients"`
+	RetainedPeriods int   `json:"retained_periods"`
+	HeapEntries     int   `json:"heap_entries"`
+	Rebuilds        int64 `json:"heap_rebuilds"`
+	PrunedPeriods   int64 `json:"pruned_periods"`
+	EvictedLen      int   `json:"evicted_pairs"`
+	EvictedCap      int   `json:"evicted_pairs_cap"`
+	EvictedHits     int64 `json:"evicted_pair_hits"`
+	Late            int64 `json:"late_reports"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -312,6 +340,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Periods:               snap.Periods,
 		CoefficientsReceived:  snap.CoefficientsReceived,
 		CoefficientsDuplicate: snap.CoefficientsDuplicate,
+
+		Tracker: TrackerStats{
+			Shards:          snap.Tracker.Shards,
+			TopKBound:       snap.Tracker.TopKBound,
+			Retained:        snap.Tracker.Retained,
+			RetainedPeriods: snap.Tracker.RetainedPeriods,
+			HeapEntries:     snap.Tracker.HeapEntries,
+			Rebuilds:        snap.Tracker.Rebuilds,
+			PrunedPeriods:   snap.Tracker.PrunedPeriods,
+			EvictedLen:      snap.Tracker.EvictedLen,
+			EvictedCap:      snap.Tracker.EvictedCap,
+			EvictedHits:     snap.Tracker.EvictedHits,
+			Late:            snap.Tracker.Late,
+		},
 
 		EmittedByComponent:  snap.EmittedByComponent,
 		ReceivedByComponent: snap.ReceivedByComponent,

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+	"repro/internal/tagset"
+)
+
+// decodeBody decodes an already-received response body.
+func decodeBody(t *testing.T, resp *http.Response, out interface{}) {
+	t.Helper()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+}
+
+// TestPairLookupAcrossPrunedPeriods drives the daemon configuration end to
+// end: a retention-bounded pipeline (KeepPeriods=1) with the evicted-pair
+// LRU enabled serves /pairs for a pair whose only reporting period has
+// been pruned. The stream is phased by the test: phase A reports the pair
+// (aa, bb) in period 1, phase B opens period 2 (flushing the period-1
+// report), phase C opens period 3, which prunes period 1 and moves
+// (aa, bb) into the LRU. Every component runs with one instance, so tuples
+// flow FIFO end to end and the phase boundaries translate deterministically
+// into reporting periods.
+func TestPairLookupAcrossPrunedPeriods(t *testing.T) {
+	dict := tagset.NewDictionary()
+	aa, bb := dict.Intern("aa"), dict.Intern("bb")
+	cc, dd := dict.Intern("cc"), dict.Intern("dd")
+	pairAB := tagset.New(aa, bb)
+	pairCD := tagset.New(cc, dd)
+
+	cfg := core.DefaultConfig()
+	cfg.K = 1
+	cfg.P = 1
+	cfg.WindowSpan = 1000
+	cfg.ReportEvery = 10_000
+	cfg.KeepPeriods = 1
+	cfg.EvictedPairs = 8
+	cfg.TrackerShards = 4
+	cfg.NoSeries = true
+
+	// The source is a phase machine advanced by the test: 0 = bootstrap mix
+	// then (aa,bb) clamped inside period 1; 1 = (cc,dd) inside period 2;
+	// 2 = (cc,dd) inside period 3.
+	var phase atomic.Int32
+	var emitted int
+	var clock stream.Millis
+	const bootstrapDocs = 30
+	next := func() (stream.Document, bool) {
+		emitted++
+		switch phase.Load() {
+		case 0:
+			if emitted <= bootstrapDocs {
+				clock = stream.Millis(50 * (emitted - 1))
+				tags := pairAB
+				if emitted%2 == 0 {
+					tags = pairCD
+				}
+				return stream.Document{Time: clock, Tags: tags}, true
+			}
+			if clock += 50; clock > 9_500 {
+				clock = 9_500
+			}
+			return stream.Document{Time: clock, Tags: pairAB}, true
+		case 1:
+			if clock < 10_500 {
+				clock = 10_500
+			} else if clock += 50; clock > 19_500 {
+				clock = 19_500
+			}
+			return stream.Document{Time: clock, Tags: pairCD}, true
+		default:
+			if clock < 20_500 {
+				clock = 20_500
+			} else if clock += 50; clock > 29_500 {
+				clock = 29_500
+			}
+			return stream.Document{Time: clock, Tags: pairCD}, true
+		}
+	}
+	src, stop := core.StopSource(next)
+
+	pipe, err := core.NewPipeline(cfg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := pipe.Start()
+	srv := New(pipe, h, dict, Config{TopK: 20, Refresh: 5 * time.Millisecond})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	deadline := time.After(120 * time.Second)
+	wait := func(what string, done func() bool) {
+		t.Helper()
+		for !done() {
+			select {
+			case <-deadline:
+				stop()
+				t.Fatalf("timed out waiting for %s", what)
+			default:
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+	}
+
+	// Phase A until the installed partitions have routed more documents
+	// than the bootstrap prefix could account for — so at least one
+	// (aa, bb) document was counted in period 1.
+	wait("period-1 documents to be notified", func() bool {
+		var st StatsResponse
+		getJSON(t, ts.Client(), ts.URL+"/stats", &st)
+		return st.NotifiedDocs > bootstrapDocs
+	})
+
+	// Phase B opens period 2: the period-1 report reaches the Tracker and
+	// the pair is served from a retained period.
+	phase.Store(1)
+	wait("pair (aa,bb) to be reported", func() bool {
+		resp, err := ts.Client().Get(ts.URL + "/pairs/aa/bb")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return false
+		}
+		var pair PairResponse
+		decodeBody(t, resp, &pair)
+		if pair.Evicted {
+			t.Fatal("pair (aa,bb) reported evicted while its period is retained")
+		}
+		return true
+	})
+
+	// Phase C opens period 3: retention (KeepPeriods=1) prunes period 1 and
+	// (aa, bb) must now be answered from the evicted LRU.
+	phase.Store(2)
+	var evictedPair PairResponse
+	wait("pair (aa,bb) to be served from the evicted LRU", func() bool {
+		resp, err := ts.Client().Get(ts.URL + "/pairs/aa/bb")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return false
+		}
+		decodeBody(t, resp, &evictedPair)
+		return evictedPair.Evicted
+	})
+	// Every period-1 document carrying the pair carried both tags, so the
+	// pruned coefficient is exactly 1.
+	if evictedPair.J != 1 || evictedPair.CN < 1 {
+		t.Errorf("evicted pair = %+v, want J=1 and CN >= 1", evictedPair)
+	}
+
+	stop()
+	h.Wait()
+	srv.Close()
+
+	// The drained /stats must expose the tracker structure: pruning
+	// happened, the LRU holds the pruned pair, and the layout matches the
+	// configuration.
+	var st StatsResponse
+	getJSON(t, ts.Client(), ts.URL+"/stats", &st)
+	if st.Tracker.PrunedPeriods < 1 {
+		t.Errorf("stats tracker.pruned_periods = %d, want >= 1", st.Tracker.PrunedPeriods)
+	}
+	if st.Tracker.EvictedLen < 1 || st.Tracker.EvictedCap != cfg.EvictedPairs {
+		t.Errorf("stats tracker evicted = %d/%d, want >= 1 of cap %d",
+			st.Tracker.EvictedLen, st.Tracker.EvictedCap, cfg.EvictedPairs)
+	}
+	if st.Tracker.EvictedHits < 1 {
+		t.Errorf("stats tracker.evicted_pair_hits = %d, want >= 1", st.Tracker.EvictedHits)
+	}
+	if st.Tracker.Shards != 4 {
+		t.Errorf("stats tracker.shards = %d, want 4", st.Tracker.Shards)
+	}
+	if st.Tracker.TopKBound < 20 {
+		t.Errorf("stats tracker.topk_bound = %d, want >= the server's TopK 20", st.Tracker.TopKBound)
+	}
+
+	// (cc,dd) was reported in the newest period, so it answers from a
+	// retained period even though older copies were pruned to the LRU.
+	var cd PairResponse
+	getJSON(t, ts.Client(), ts.URL+"/pairs/cc/dd", &cd)
+	if cd.Evicted {
+		t.Errorf("pair (cc,dd) = %+v, want a retained-period answer", cd)
+	}
+}

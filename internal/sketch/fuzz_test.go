@@ -1,0 +1,103 @@
+package sketch
+
+import (
+	"fmt"
+	"testing"
+)
+
+// decodeKeys splits fuzz bytes into short string keys (deduplicated by the
+// callers that need set semantics).
+func decodeKeys(data []byte) []string {
+	var keys []string
+	for i := 0; i < len(data); i += 3 {
+		end := i + 3
+		if end > len(data) {
+			end = len(data)
+		}
+		keys = append(keys, fmt.Sprintf("k%x", data[i:end]))
+	}
+	return keys
+}
+
+// FuzzBloomRoundTrip checks the Bloom filter's defining guarantee on
+// arbitrary key sets: after Add, Contains never returns a false negative,
+// N counts insertions, and intersection estimation over compatible filters
+// stays non-negative and finite.
+func FuzzBloomRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add([]byte("hello fuzzer, overlapping keys ahead"))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1024 {
+			return
+		}
+		keys := decodeKeys(data)
+		proto := NewBloom(len(keys)+1, 0.03)
+		a, b := CloneEmpty(proto), CloneEmpty(proto)
+
+		var nA, nB int64
+		for i, k := range keys {
+			if i%2 == 0 {
+				a.Add(k)
+				nA++
+			} else {
+				b.Add(k)
+				nB++
+			}
+		}
+		if a.N() != nA || b.N() != nB {
+			t.Fatalf("N() = %d/%d, inserted %d/%d", a.N(), b.N(), nA, nB)
+		}
+		for i, k := range keys {
+			fl := a
+			if i%2 == 1 {
+				fl = b
+			}
+			if !fl.Contains(k) {
+				t.Fatalf("false negative: filter lost key %q", k)
+			}
+		}
+		if est := EstimateIntersection(a, b, nA, nB); est < 0 || est != est {
+			t.Fatalf("EstimateIntersection = %g", est)
+		}
+		if fr := a.FillRatio(); fr < 0 || fr > 1 {
+			t.Fatalf("FillRatio = %g", fr)
+		}
+	})
+}
+
+// FuzzCountMinOverestimates checks the Count-Min guarantee on arbitrary
+// add sequences: a point query never underestimates the true count, and
+// Total tracks the sum of added deltas.
+func FuzzCountMinOverestimates(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{5, 5, 5, 9})
+	f.Add([]byte("aaabbbcccddd"))
+	f.Add([]byte{255, 0, 255, 0, 1, 2, 3, 4, 5, 6, 7, 8})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1024 {
+			return
+		}
+		cm := NewCountMin(0.1, 0.05)
+		exact := make(map[string]uint32)
+		var total int64
+		for i := 0; i+1 < len(data); i += 2 {
+			key := fmt.Sprintf("k%d", data[i]%32)
+			delta := uint32(data[i+1]%7) + 1
+			cm.Add(key, delta)
+			exact[key] += delta
+			total += int64(delta)
+		}
+		if cm.Total() != total {
+			t.Fatalf("Total = %d, added %d", cm.Total(), total)
+		}
+		for key, want := range exact {
+			if got := cm.Count(key); got < want {
+				t.Fatalf("Count(%q) = %d underestimates true count %d", key, got, want)
+			}
+		}
+	})
+}

@@ -210,6 +210,11 @@ type conExecutor struct {
 
 	throttleMu sync.Mutex
 	throttle   *sync.Cond
+	// throttled counts spouts registered on the condition variable
+	// (incremented under throttleMu before they re-check and park), so the
+	// per-tuple done() path can skip the lock and broadcast entirely while
+	// nobody is throttled — the steady state of a non-saturated run.
+	throttled int64
 }
 
 func (ex *conExecutor) send(dst TaskID, t Tuple) {
@@ -222,10 +227,12 @@ func (ex *conExecutor) done(n int64) {
 	if left == 0 && atomic.LoadInt32(&ex.spoutsDn) == 1 {
 		ex.signalQuiet()
 	}
-	if left < maxSpoutPending/2 {
-		// The broadcast must hold throttleMu: a spout that has checked the
-		// counter but not yet parked in Wait would otherwise miss it and —
-		// if this was the last in-flight tuple — sleep forever.
+	if left < maxSpoutPending/2 && atomic.LoadInt64(&ex.throttled) > 0 {
+		// The broadcast must hold throttleMu: a spout that has registered
+		// but not yet parked in Wait would otherwise miss it and — if this
+		// was the last in-flight tuple — sleep forever. A spout not yet
+		// registered is safe to skip: it re-checks the counter under the
+		// lock after registering, and this decrement happened before that.
 		ex.throttleMu.Lock()
 		ex.throttle.Broadcast()
 		ex.throttleMu.Unlock()
@@ -239,9 +246,11 @@ func (ex *conExecutor) waitBelowPending() {
 		return
 	}
 	ex.throttleMu.Lock()
+	atomic.AddInt64(&ex.throttled, 1)
 	for atomic.LoadInt64(&ex.inflight) >= maxSpoutPending {
 		ex.throttle.Wait()
 	}
+	atomic.AddInt64(&ex.throttled, -1)
 	ex.throttleMu.Unlock()
 }
 

@@ -23,7 +23,6 @@ package storm
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 )
 
@@ -292,21 +291,28 @@ func (b *Builder) Build() (*Topology, error) {
 	return tp, nil
 }
 
-// Stats counts dataflow volumes per component and per task.
+// Stats counts dataflow volumes per component and per task. The counters
+// are lock-free atomics over maps frozen at Build time: every tuple on the
+// hot path costs two atomic adds instead of two global mutex acquisitions,
+// so the dataflow does not serialize on its own bookkeeping as component
+// parallelism grows.
 type Stats struct {
-	mu       sync.Mutex
-	emitted  map[string]int64
-	received map[string]int64
-	perTask  []int64
+	emitted  map[string]*int64 // per component; map immutable after Build
+	received map[string]*int64 // per component; map immutable after Build
+	perTask  []int64           // atomic; indexed by TaskID
 	names    []string
 }
 
 func newStats(tp *Topology) *Stats {
 	s := &Stats{
-		emitted:  make(map[string]int64),
-		received: make(map[string]int64),
+		emitted:  make(map[string]*int64, len(tp.nodes)),
+		received: make(map[string]*int64, len(tp.nodes)),
 		perTask:  make([]int64, len(tp.tasks)),
 		names:    make([]string, len(tp.tasks)),
+	}
+	for _, n := range tp.nodes {
+		s.emitted[n.name] = new(int64)
+		s.received[n.name] = new(int64)
 	}
 	for i, t := range tp.tasks {
 		s.names[i] = t.ctx.Component
@@ -315,46 +321,48 @@ func newStats(tp *Topology) *Stats {
 }
 
 func (s *Stats) addEmit(component string, n int64) {
-	s.mu.Lock()
-	s.emitted[component] += n
-	s.mu.Unlock()
+	atomic.AddInt64(s.emitted[component], n)
 }
 
 func (s *Stats) addRecv(task TaskID) {
-	s.mu.Lock()
-	s.received[s.names[task]]++
-	s.perTask[task]++
-	s.mu.Unlock()
+	atomic.AddInt64(s.received[s.names[task]], 1)
+	atomic.AddInt64(&s.perTask[task], 1)
 }
 
 // Emitted returns the number of tuples emitted by the named component.
 func (s *Stats) Emitted(component string) int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.emitted[component]
+	c := s.emitted[component]
+	if c == nil {
+		return 0
+	}
+	return atomic.LoadInt64(c)
 }
 
 // Received returns the number of tuples received by the named component.
 func (s *Stats) Received(component string) int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.received[component]
+	c := s.received[component]
+	if c == nil {
+		return 0
+	}
+	return atomic.LoadInt64(c)
 }
 
 // Totals returns copies of the per-component emitted and received counter
-// maps. Like the single-component getters it is safe to call while a
-// concurrent run is in flight; the copies are a consistent point-in-time
-// view.
+// maps (components that moved no tuples are omitted). Like the
+// single-component getters it is safe to call while a concurrent run is in
+// flight.
 func (s *Stats) Totals() (emitted, received map[string]int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	emitted = make(map[string]int64, len(s.emitted))
-	for k, v := range s.emitted {
-		emitted[k] = v
+	for k, c := range s.emitted {
+		if v := atomic.LoadInt64(c); v != 0 {
+			emitted[k] = v
+		}
 	}
 	received = make(map[string]int64, len(s.received))
-	for k, v := range s.received {
-		received[k] = v
+	for k, c := range s.received {
+		if v := atomic.LoadInt64(c); v != 0 {
+			received[k] = v
+		}
 	}
 	return emitted, received
 }
@@ -365,11 +373,9 @@ func (s *Stats) TaskReceived(tp *Topology, component string) []int64 {
 	if n == nil {
 		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	out := make([]int64, len(n.tasks))
 	for i, id := range n.tasks {
-		out[i] = s.perTask[id]
+		out[i] = atomic.LoadInt64(&s.perTask[id])
 	}
 	return out
 }
