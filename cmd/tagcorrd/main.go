@@ -8,6 +8,9 @@
 //
 //	curl localhost:8080/topk?k=10
 //	curl localhost:8080/pairs/tag-42-1/tag-42-7
+//	curl localhost:8080/trends?k=10
+//	curl localhost:8080/trends/tag-42-1/tag-42-7
+//	curl -N localhost:8080/events
 //	curl localhost:8080/partition
 //	curl localhost:8080/stats
 //	curl localhost:8080/healthz
@@ -27,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -54,6 +58,13 @@ func main() {
 		periods = flag.Int("keep-periods", 12, "reporting periods retained in memory (0: keep all)")
 		shards  = flag.Int("tracker-shards", 0, "Tracker lock shards (0: default 16)")
 		evicted = flag.Int("evicted-pairs", 4096, "LRU capacity for coefficients pruned by -keep-periods (0: off)")
+		pending = flag.Int("spout-pending", 0, "spout throttle: max tuples in flight (0: default 4096)")
+
+		trendOn    = flag.Bool("trend", true, "enable the streaming trend detector (/trends, /events)")
+		trendAlpha = flag.Float64("trend-alpha", 0.4, "trend predictor smoothing factor")
+		trendTopK  = flag.Int("trend-topk", 50, "maintained top-trends heap bound per period")
+		trendMinCN = flag.Int64("trend-min-support", 5, "minimum intersection counter for trend scoring")
+		trendThr   = flag.Float64("trend-threshold", 0.1, "minimum score pushed on the /events feed")
 	)
 	flag.Parse()
 
@@ -69,9 +80,15 @@ func main() {
 	cfg.NoSeries = true
 	cfg.TrackerShards = *shards
 	cfg.EvictedPairs = *evicted
+	cfg.SpoutPending = *pending
+	cfg.Trend = *trendOn
+	cfg.TrendAlpha = *trendAlpha
+	cfg.TrendTopK = *trendTopK
+	cfg.TrendMinSupport = *trendMinCN
+	cfg.TrendThreshold = *trendThr
 
 	dict := tagset.NewDictionary()
-	src, err := buildSource(*in, *minutes, *seed, dict)
+	src, srcErr, err := buildSource(*in, *minutes, *seed, dict)
 	if err != nil {
 		log.Fatalf("tagcorrd: %v", err)
 	}
@@ -123,35 +140,52 @@ func main() {
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("tagcorrd: http shutdown: %v", err)
 	}
+	// A replay truncated by a malformed input line served only a prefix of
+	// the capture; exit non-zero so scripted replays cannot mistake it for
+	// a complete run.
+	if err := srcErr(); err != nil {
+		log.Fatalf("tagcorrd: input stream truncated: %v", err)
+	}
 }
 
-// buildSource returns the document stream: a JSONL file loaded up front, or
-// the synthetic generator (optionally capped at the given virtual length).
-func buildSource(in string, minutes float64, seed int64, dict *tagset.Dictionary) (core.DocumentSource, error) {
+// buildSource returns the document stream — a JSONL file replayed lazily
+// line by line (replay memory stays O(1) in the capture size), or the
+// synthetic generator (optionally capped at the given virtual length) —
+// plus a srcErr to consult after the run: a scan or parse failure ends the
+// lazy replay early, and the daemon must not report such a truncated run
+// as success.
+func buildSource(in string, minutes float64, seed int64, dict *tagset.Dictionary) (core.DocumentSource, func() error, error) {
+	noErr := func() error { return nil }
 	if in != "" {
 		f, err := os.Open(in)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		defer f.Close()
-		var docs []stream.Document
-		if err := stream.ReadJSONL(f, dict, func(d stream.Document) error {
-			docs = append(docs, d)
-			return nil
-		}); err != nil {
-			return nil, err
+		jsonl := stream.NewJSONLSource(f, dict)
+		var closeOnce sync.Once
+		src := func() (stream.Document, bool) {
+			d, ok := jsonl.Next()
+			if !ok {
+				closeOnce.Do(func() {
+					if err := jsonl.Err(); err != nil {
+						log.Printf("tagcorrd: %s: %v (stream ends here)", in, err)
+					}
+					f.Close()
+				})
+			}
+			return d, ok
 		}
-		return core.SliceSource(docs), nil
+		return src, jsonl.Err, nil
 	}
 
 	gcfg := twitgen.Default()
 	gcfg.Seed = seed
 	gen, err := twitgen.New(gcfg, dict)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if minutes <= 0 {
-		return func() (stream.Document, bool) { return gen.Next(), true }, nil
+		return func() (stream.Document, bool) { return gen.Next(), true }, noErr, nil
 	}
 	limit := stream.Minutes(minutes)
 	return func() (stream.Document, bool) {
@@ -160,7 +194,7 @@ func buildSource(in string, minutes float64, seed int64, dict *tagset.Dictionary
 			return stream.Document{}, false
 		}
 		return d, true
-	}, nil
+	}, noErr, nil
 }
 
 // paced limits src to the given documents per wall-clock second. The sleep

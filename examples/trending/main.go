@@ -1,28 +1,38 @@
 // Trending: enBlogue-style emergent-topic detection (the application the
-// paper's introduction motivates). The pipeline tracks Jaccard coefficients
-// per reporting period; the trend detector scores each tagset's correlation
-// against its smoothed prediction — a large error signals an emerging or
-// collapsing association.
+// paper's introduction motivates), served live. The concurrent pipeline
+// runs with the streaming trend subsystem enabled: the Tracker forwards
+// every accepted Jaccard report to the Trend operator, whose sharded
+// detector scores each tagset's correlation against its smoothed
+// prediction — a large error signals an emerging or collapsing
+// association. While the stream is still being consumed, this example
+// follows the /events SSE feed and prints trend events as they fire, then
+// stops the source, drains, and asks /trends for the final ranking — the
+// same surface cmd/tagcorrd serves.
 //
 //	go run ./examples/trending
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/partition"
+	"repro/internal/server"
 	"repro/internal/stream"
 	"repro/internal/tagset"
-	"repro/internal/trend"
 	"repro/internal/twitgen"
 )
 
 func main() {
 	dict := tagset.NewDictionary()
 	gcfg := twitgen.Default()
-	gcfg.DriftInterval = stream.Minutes(3) // brisk topic churn
+	gcfg.DriftInterval = stream.Minutes(2) // brisk topic churn
 	gen, err := twitgen.New(gcfg, dict)
 	if err != nil {
 		log.Fatal(err)
@@ -30,39 +40,110 @@ func main() {
 
 	cfg := core.DefaultConfig()
 	cfg.Algorithm = partition.DS
-	const docs = 40 * 60 * 65 // 40 virtual minutes of tagged tweets
-	pipe, err := core.NewPipeline(cfg, core.GeneratorSource(gen.Next, docs))
+	cfg.ReportEvery = stream.Minutes(1)
+	cfg.WindowSpan = stream.Minutes(1)
+	cfg.Trend = true
+	cfg.TrendMinSupport = 5
+	cfg.TrendThreshold = 0.1
+	cfg.TrendTopK = 32
+
+	// An unbounded source the example stops once it has seen enough trend
+	// events — the shape of a live deployment, where the stream has no
+	// natural end.
+	src, stop := core.StopSource(func() (stream.Document, bool) {
+		return gen.Next(), true
+	})
+	pipe, err := core.NewPipeline(cfg, src)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res := pipe.Run()
+	h := pipe.Start()
+	srv := server.New(pipe, h, dict, server.Config{TopK: 50})
+	defer srv.Close()
 
-	periods := res.Tracker.Periods()
-	if len(periods) < 2 {
-		log.Fatal("stream too short for trend detection")
-	}
-	fmt.Printf("%d reporting periods of %dms each\n", len(periods), cfg.ReportEvery)
-
-	tcfg := trend.DefaultConfig()
-	tcfg.MinSupport = 10
-	detector, err := trend.NewDetector(tcfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, period := range periods {
-		events := detector.Feed(period, res.Tracker.Report(period))
-		var emerging []trend.Event
-		for _, e := range events {
-			if e.Rising && e.Score > 0.15 && e.Tags.Len() == 2 {
-				emerging = append(emerging, e)
-			}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln) //nolint:errcheck // closed on exit
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("streaming drifting tweets, trend surface on %s\n\n", base)
+
+	// Follow the SSE feed while the executor streams: every event is one
+	// tagset whose correlation moved at least TrendThreshold away from its
+	// prediction. After enough events the source is stopped; the feed ends
+	// with an `end` event once the dataflow drains.
+	resp, err := http.Get(base + "/events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	const enough = 12
+	events, rising := 0, 0
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "event: end" {
+			break
 		}
-		fmt.Printf("\nperiod %d: %d strong emerging pairs (tracking %d tagsets)\n",
-			period, len(emerging), detector.Tracked())
-		for _, e := range trend.TopK(emerging, 5) {
-			names := dict.Strings(e.Tags)
-			fmt.Printf("  ΔJ=%+.3f (%.3f→%.3f, n=%d)  #%s ~ #%s\n",
-				e.Observed-e.Predicted, e.Predicted, e.Observed, e.CN, names[0], names[1])
+		if !strings.HasPrefix(line, "data: ") || line == "data: {}" {
+			continue
+		}
+		var ev struct {
+			Tags      []string `json:"tags"`
+			Period    int64    `json:"period"`
+			Predicted float64  `json:"predicted"`
+			Observed  float64  `json:"observed"`
+			Rising    bool     `json:"rising"`
+			CN        int64    `json:"cn"`
+		}
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
+			continue
+		}
+		events++
+		if ev.Rising {
+			rising++
+		}
+		if len(ev.Tags) == 2 {
+			fmt.Printf("period %2d  ΔJ=%+.3f (%.3f→%.3f, n=%d)  #%s ~ #%s\n",
+				ev.Period, ev.Observed-ev.Predicted, ev.Predicted, ev.Observed,
+				ev.CN, ev.Tags[0], ev.Tags[1])
+		}
+		if events == enough {
+			stop() // graceful drain: end the stream, flush in-flight tuples
 		}
 	}
+	stop() // in case the feed ended before `enough` events
+	res := h.Wait()
+	fmt.Printf("\nstream drained after %d docs: %d events on the feed (%d rising)\n\n",
+		res.DocsProcessed, events, rising)
+
+	// The final ranking over the last scored period, from the cached
+	// snapshot.
+	srv.RefreshNow()
+	tr, err := http.Get(base + "/trends?k=5")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tr.Body.Close()
+	var trends struct {
+		LatestPeriod int64 `json:"latest_period"`
+		Top          []struct {
+			Tags      []string `json:"tags"`
+			Predicted float64  `json:"predicted"`
+			Observed  float64  `json:"observed"`
+			Score     float64  `json:"score"`
+		} `json:"top"`
+		Tracked int `json:"tracked"`
+	}
+	if err := json.NewDecoder(tr.Body).Decode(&trends); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("top trends of period %d (%d tagsets tracked):\n", trends.LatestPeriod, trends.Tracked)
+	for _, e := range trends.Top {
+		fmt.Printf("  score=%.3f (%.3f→%.3f)  %s\n",
+			e.Score, e.Predicted, e.Observed, "#"+strings.Join(e.Tags, " ~ #"))
+	}
+	httpSrv.Close()
 }

@@ -21,6 +21,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/storm"
 	"repro/internal/stream"
+	"repro/internal/trend"
 )
 
 // Config re-exports the operator configuration as the pipeline's knob set.
@@ -84,6 +85,7 @@ type Pipeline struct {
 	disseminators []*operators.Disseminator
 	calculators   []*operators.Calculator
 	tracker       *operators.Tracker
+	trends        *trend.Stream // nil unless cfg.Trend
 }
 
 // NewPipeline assembles the topology for the given configuration and input.
@@ -142,12 +144,33 @@ func NewPipeline(cfg Config, src DocumentSource) (*Pipeline, error) {
 	b.Bolt("tracker", func() storm.Bolt {
 		p.tracker = operators.NewTrackerWith(cfg.TrackerShards, cfg.TrackerTopK, cfg.EvictedPairs)
 		p.tracker.SetRetention(cfg.KeepPeriods)
+		if cfg.Trend {
+			p.tracker.EnableTrendEmit()
+		}
 		return p.tracker
 	}, 1).Shuffle("calculator")
+
+	if cfg.Trend {
+		det, err := trend.NewStream(cfg.TrendStreamConfig())
+		if err != nil {
+			return nil, err
+		}
+		p.trends = det
+		tasks := cfg.TrendTasks
+		if tasks == 0 {
+			tasks = 1
+		}
+		b.Bolt("trend", func() storm.Bolt {
+			return operators.NewTrend(det)
+		}, tasks).Fields("tracker", operators.TrendKey)
+	}
 
 	topo, err := b.Build()
 	if err != nil {
 		return nil, err
+	}
+	if cfg.SpoutPending > 0 {
+		topo.SetMaxSpoutPending(cfg.SpoutPending)
 	}
 	p.topo = topo
 	return p, nil

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"math"
 	"sync"
 
 	"repro/internal/jaccard"
 	"repro/internal/operators"
 	"repro/internal/partition"
 	"repro/internal/storm"
+	"repro/internal/trend"
 )
 
 // Snapshot is a consistent point-in-time view of a pipeline while (or
@@ -70,6 +72,11 @@ type Snapshot struct {
 	// evicted-coefficient LRU.
 	Tracker operators.TrackerStats
 
+	// Trends is the streaming trend detector's live view (nil unless
+	// Config.Trend is set): the top deviations of the newest scored period
+	// plus the detector's structural counters.
+	Trends *TrendsView
+
 	// EmittedByComponent / ReceivedByComponent are the storm substrate's
 	// per-component dataflow counters.
 	EmittedByComponent  map[string]int64
@@ -131,8 +138,42 @@ func (p *Pipeline) Snapshot(k int) *Snapshot {
 	s.LoadGini = agg.LoadGini()
 
 	s.EmittedByComponent, s.ReceivedByComponent = p.topo.Stats().Totals()
+
+	if p.trends != nil {
+		v := &TrendsView{Stats: p.trends.StatsSnapshot()}
+		// Check the latest-period sentinel itself, not Scored: the first
+		// Observe bumps the scored counter before publishing its period.
+		if latest := p.trends.LatestPeriod(); latest != math.MinInt64 {
+			v.LatestPeriod = latest
+			// Clamp to the detector's maintained heap bound so the view is
+			// always served from the per-period heaps, never the
+			// full-gather fallback — the Tracker top-k gets the same
+			// treatment via EnsureTopKBound.
+			if bound := p.trends.Config().TopK; k <= 0 || k > bound {
+				k = bound
+			}
+			v.Top = p.trends.TopTrends(latest, k)
+		}
+		s.Trends = v
+	}
 	return s
 }
+
+// TrendsView is the Snapshot's rendering of the streaming trend detector:
+// the highest-scoring deviations of the newest period a deviation was
+// scored in, plus the detector's structural counters. LatestPeriod is 0
+// until the first event is scored (reporting periods start at 1), and Top
+// carries at most the detector's TrendTopK events (the maintained bound).
+type TrendsView struct {
+	LatestPeriod int64
+	Top          []trend.Event
+	Stats        trend.StreamStats
+}
+
+// Trends exposes the streaming trend detector (nil unless Config.Trend).
+// Its methods are thread-safe, so live queries — the /trends point lookup,
+// the /events subscription — may use it mid-run.
+func (p *Pipeline) Trends() *trend.Stream { return p.trends }
 
 // Tracker exposes the Tracker bolt; its read methods are thread-safe, so
 // live queries (e.g. the HTTP pair lookup) may use it mid-run.

@@ -59,12 +59,16 @@ func (c *Calculator) Cleanup(out storm.Collector) {
 	}
 }
 
+// flush reports the finished period as a single CoeffBatch tuple: one
+// emission and one Tracker mailbox delivery per flush, however many
+// coefficients the period produced, keeping the hot path's dataflow
+// counters and mailbox pressure proportional to periods rather than pairs.
 func (c *Calculator) flush(out storm.Collector) {
 	coeffs := c.table.Coefficients(1)
 	period := int64(c.boundary / c.cfg.ReportEvery)
-	for _, co := range coeffs {
+	if len(coeffs) > 0 {
 		out.Emit(storm.Tuple{Stream: StreamCoeff, Values: []interface{}{
-			CoeffMsg{Period: period, Coeff: co},
+			CoeffBatch{Period: period, Coeffs: coeffs},
 		}})
 	}
 	if len(coeffs) > 0 || c.table.Docs() > 0 {

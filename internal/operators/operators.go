@@ -20,6 +20,7 @@ import (
 	"repro/internal/storm"
 	"repro/internal/stream"
 	"repro/internal/tagset"
+	"repro/internal/trend"
 )
 
 // Stream names used by the topology.
@@ -32,6 +33,7 @@ const (
 	StreamAdditionRes = "addition-r"  // Merger → Disseminator
 	StreamNotify      = "notify"      // Disseminator → Calculator
 	StreamCoeff       = "coeff"       // Calculator → Tracker
+	StreamTrend       = "trend"       // Tracker → Trend
 )
 
 // DocMsg is a parsed document: arrival time plus its canonical tagset.
@@ -82,7 +84,26 @@ type NotifyMsg struct {
 }
 
 // CoeffMsg is a reported Jaccard coefficient with its reporting period.
+// The pipeline's hot path ships CoeffBatch tuples; the Tracker accepts the
+// single-coefficient form too (tests and ad-hoc feeds).
 type CoeffMsg struct {
+	Period int64
+	Coeff  jaccard.Coefficient
+}
+
+// CoeffBatch is one Calculator's full report for one period: a single tuple
+// carrying the whole coefficient slice, so a flush of n coefficients costs
+// one emission and one Tracker mailbox delivery instead of n.
+type CoeffBatch struct {
+	Period int64
+	Coeffs []jaccard.Coefficient
+}
+
+// TrendMsg is one deduplicated coefficient acceptance, emitted by the
+// Tracker towards the Trend operator: a fresh (period, tagset) report or a
+// CN upgrade of an existing one. The stream therefore carries exactly the
+// values the Tracker's tables converge to.
+type TrendMsg struct {
 	Period int64
 	Coeff  jaccard.Coefficient
 }
@@ -145,6 +166,33 @@ type Config struct {
 	// endpoint) answer for pairs whose reporting periods were pruned. 0 —
 	// the batch default — disables the LRU.
 	EvictedPairs int
+
+	// SpoutPending overrides the concurrent executor's spout throttle (the
+	// maximum number of unprocessed tuples in flight before spouts block).
+	// 0 — the default — uses the substrate's built-in 4096.
+	SpoutPending int
+
+	// Trend enables the streaming trend-detection subsystem: the Tracker
+	// emits every accepted coefficient report to a Trend operator
+	// (fields-grouped by tagset key) feeding a sharded trend.Stream
+	// detector, and Snapshot carries a Trends view. Off — the batch
+	// default — adds no operator and no extra dataflow.
+	Trend bool
+
+	// TrendAlpha is the detector's exponential-smoothing factor
+	// (0: default 0.4); TrendMinSupport drops reports with a smaller
+	// intersection counter (0: default 5); TrendTopK bounds the maintained
+	// per-period top-trends heaps (0: default 64); TrendThreshold is the
+	// minimum score pushed to event subscribers (0 publishes every scored
+	// event); TrendShards is the detector's lock shard count (0: default
+	// 8); TrendTasks is the Trend operator's parallelism (0: default 1).
+	// The detector's per-period state obeys KeepPeriods like the Tracker.
+	TrendAlpha      float64
+	TrendMinSupport int64
+	TrendTopK       int
+	TrendThreshold  float64
+	TrendShards     int
+	TrendTasks      int
 
 	// CalibrateRefs replaces the Merger's partition-level reference
 	// quality with the first statistics batch measured on live traffic
@@ -213,8 +261,43 @@ func (c Config) Validate() error {
 		return fmt.Errorf("operators: trackerTopK = %d", c.TrackerTopK)
 	case c.EvictedPairs < 0:
 		return fmt.Errorf("operators: evictedPairs = %d", c.EvictedPairs)
+	case c.SpoutPending < 0:
+		return fmt.Errorf("operators: spoutPending = %d", c.SpoutPending)
+	case c.TrendAlpha < 0 || c.TrendAlpha > 1:
+		return fmt.Errorf("operators: trendAlpha = %g", c.TrendAlpha)
+	case c.TrendMinSupport < 0:
+		return fmt.Errorf("operators: trendMinSupport = %d", c.TrendMinSupport)
+	case c.TrendTopK < 0:
+		return fmt.Errorf("operators: trendTopK = %d", c.TrendTopK)
+	case c.TrendThreshold < 0 || c.TrendThreshold > 1:
+		return fmt.Errorf("operators: trendThreshold = %g", c.TrendThreshold)
+	case c.TrendShards < 0:
+		return fmt.Errorf("operators: trendShards = %d", c.TrendShards)
+	case c.TrendTasks < 0:
+		return fmt.Errorf("operators: trendTasks = %d", c.TrendTasks)
 	}
 	return nil
+}
+
+// TrendStreamConfig maps the pipeline configuration to the streaming
+// detector's, filling the documented defaults for unset fields.
+func (c Config) TrendStreamConfig() trend.StreamConfig {
+	sc := trend.StreamConfig{
+		Alpha:       c.TrendAlpha,
+		MinSupport:  c.TrendMinSupport,
+		MaxTracked:  1 << 18,
+		TopK:        c.TrendTopK,
+		Threshold:   c.TrendThreshold,
+		Shards:      c.TrendShards,
+		KeepPeriods: c.KeepPeriods,
+	}
+	if sc.Alpha == 0 {
+		sc.Alpha = 0.4
+	}
+	if sc.MinSupport == 0 {
+		sc.MinSupport = 5
+	}
+	return sc
 }
 
 // TagsetKey hashes a document's full tagset for fields grouping, so equal

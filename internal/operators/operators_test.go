@@ -248,13 +248,20 @@ func TestCalculatorPeriodsAndFlush(t *testing.T) {
 	if len(coeffs) != 1 {
 		t.Fatalf("coeffs = %d", len(coeffs))
 	}
-	msg := coeffs[0].Values[0].(CoeffMsg)
-	if msg.Period != 1 {
-		t.Errorf("period = %d", msg.Period)
+	// One tuple per flush: the whole period rides in a single CoeffBatch.
+	batch := coeffs[0].Values[0].(CoeffBatch)
+	if batch.Period != 1 {
+		t.Errorf("period = %d", batch.Period)
 	}
 	// J({1,2}) = 2 intersections / 3 docs containing 1 or 2.
-	if msg.Coeff.CN != 2 || msg.Coeff.J < 0.66 || msg.Coeff.J > 0.67 {
-		t.Errorf("coeff = %+v", msg.Coeff)
+	var pair *jaccard.Coefficient
+	for i, co := range batch.Coeffs {
+		if co.Tags.Equal(tagset.New(1, 2)) {
+			pair = &batch.Coeffs[i]
+		}
+	}
+	if pair == nil || pair.CN != 2 || pair.J < 0.66 || pair.J > 0.67 {
+		t.Errorf("coeff for {1,2} = %+v", pair)
 	}
 	// Cleanup flushes the in-progress period.
 	c.Cleanup(out)
@@ -262,7 +269,7 @@ func TestCalculatorPeriodsAndFlush(t *testing.T) {
 	if len(all) != 2 {
 		t.Fatalf("after cleanup coeffs = %d", len(all))
 	}
-	if got := all[1].Values[0].(CoeffMsg).Period; got != 2 {
+	if got := all[1].Values[0].(CoeffBatch).Period; got != 2 {
 		t.Errorf("final period = %d", got)
 	}
 	if c.Reports != 2 || c.Observed != 4 {

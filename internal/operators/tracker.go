@@ -11,6 +11,7 @@ import (
 	"repro/internal/jaccard"
 	"repro/internal/storm"
 	"repro/internal/tagset"
+	"repro/internal/topselect"
 )
 
 // Tracker collects the Jaccard coefficients from all Calculators. When the
@@ -53,6 +54,10 @@ type Tracker struct {
 
 	reg periodRegistry
 	lru *evictedLRU // nil when disabled
+
+	// emitTrend forwards accepted reports on StreamTrend (EnableTrendEmit);
+	// set during topology assembly, read-only once the run starts.
+	emitTrend bool
 
 	// Received counts all incoming coefficients; Duplicates counts those
 	// that collided with an existing report for the same tagset and period;
@@ -171,14 +176,31 @@ func (tr *Tracker) topKBound() int {
 // Prepare implements storm.Bolt.
 func (tr *Tracker) Prepare(*storm.TaskContext) {}
 
-// Execute implements storm.Bolt: the report path. It consults the period
-// registry (opening a new period may prune old ones), then locks only the
-// shard owning the coefficient's tagset key.
-func (tr *Tracker) Execute(t storm.Tuple, _ storm.Collector) {
-	msg := t.Values[0].(CoeffMsg)
+// EnableTrendEmit makes the Tracker forward every accepted report — fresh
+// (period, tagset) coefficients and CN upgrades — on StreamTrend, the feed
+// of the Trend operator. Call before the run starts.
+func (tr *Tracker) EnableTrendEmit() { tr.emitTrend = true }
+
+// Execute implements storm.Bolt: the report path. Calculators ship one
+// CoeffBatch per period flush; the single-coefficient CoeffMsg form is
+// accepted too. Each coefficient consults the period registry (opening a
+// new period may prune old ones), then locks only the shard owning its
+// tagset key.
+func (tr *Tracker) Execute(t storm.Tuple, out storm.Collector) {
+	switch msg := t.Values[0].(type) {
+	case CoeffBatch:
+		for _, c := range msg.Coeffs {
+			tr.reportOne(msg.Period, c, out)
+		}
+	case CoeffMsg:
+		tr.reportOne(msg.Period, msg.Coeff, out)
+	}
+}
+
+func (tr *Tracker) reportOne(period int64, c jaccard.Coefficient, out storm.Collector) {
 	atomic.AddInt64(&tr.Received, 1)
 
-	retained, pruned := tr.reg.ensure(msg.Period)
+	retained, pruned := tr.reg.ensure(period)
 	for _, p := range pruned {
 		tr.prunePeriod(p)
 	}
@@ -187,13 +209,19 @@ func (tr *Tracker) Execute(t storm.Tuple, _ storm.Collector) {
 		return
 	}
 
-	key := msg.Coeff.Tags.Key()
-	dup, late := tr.shardOf(key).report(msg.Period, key, msg.Coeff)
+	key := c.Tags.Key()
+	dup, late, updated := tr.shardOf(key).report(period, key, c)
 	if dup {
 		atomic.AddInt64(&tr.Duplicates, 1)
 	}
 	if late {
 		atomic.AddInt64(&tr.Late, 1)
+		return
+	}
+	if tr.emitTrend && out != nil && (!dup || updated) {
+		out.Emit(storm.Tuple{Stream: StreamTrend, Values: []interface{}{
+			TrendMsg{Period: period, Coeff: c},
+		}})
 	}
 }
 
@@ -288,7 +316,7 @@ func (tr *Tracker) TopK(k int) []jaccard.Coefficient {
 		cand = append(cand, s.top.entries...)
 		s.mu.Unlock()
 	}
-	cand = topSelect(cand, k, entryBefore)
+	cand = topselect.Select(cand, k, entryBefore)
 	out := make([]jaccard.Coefficient, len(cand))
 	for i, e := range cand {
 		out[i] = e.c
@@ -313,47 +341,9 @@ func (tr *Tracker) topKScan(k int) []jaccard.Coefficient {
 		}
 		s.mu.Unlock()
 	}
-	all = topSelect(all, k, coeffBefore)
+	all = topselect.Select(all, k, coeffBefore)
 	sortCoefficients(all)
 	return all
-}
-
-// topSelect retains the best k elements of items under before, reusing the
-// slice's backing array; the survivors' order is unspecified. k <= 0 or a
-// list already within the bound returns items unchanged. The classic
-// bounded selection: a min-heap of the best k seen (root = worst kept),
-// whose root is displaced whenever a better candidate arrives.
-func topSelect[T any](items []T, k int, before func(a, b T) bool) []T {
-	if k <= 0 || len(items) <= k {
-		return items
-	}
-	h := items[:k:k]
-	down := func(i int) {
-		for {
-			worst := i
-			if l := 2*i + 1; l < k && before(h[worst], h[l]) {
-				worst = l
-			}
-			if r := 2*i + 2; r < k && before(h[worst], h[r]) {
-				worst = r
-			}
-			if worst == i {
-				return
-			}
-			h[i], h[worst] = h[worst], h[i]
-			i = worst
-		}
-	}
-	for i := k/2 - 1; i >= 0; i-- {
-		down(i)
-	}
-	for _, x := range items[k:] {
-		if before(x, h[0]) {
-			h[0] = x
-			down(0)
-		}
-	}
-	return h
 }
 
 // Lookup returns the most recent coefficient reported for the given tagset
@@ -571,13 +561,15 @@ func newTrackerShard(bound int) *trackerShard {
 }
 
 // report records one coefficient. It reports whether the report collided
-// with an existing (period, key) entry, and whether it was dropped because
-// the period was pruned between the registry check and this shard lock.
-func (s *trackerShard) report(period int64, key tagset.Key, c jaccard.Coefficient) (dup, late bool) {
+// with an existing (period, key) entry, whether it was dropped because the
+// period was pruned between the registry check and this shard lock, and —
+// for collisions — whether the new value won (a CN upgrade that replaced
+// the stored coefficient).
+func (s *trackerShard) report(period int64, key tagset.Key, c jaccard.Coefficient) (dup, late, updated bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if period <= s.floor {
-		return false, true
+		return false, true, false
 	}
 	m := s.periods[period]
 	if m == nil {
@@ -587,16 +579,16 @@ func (s *trackerShard) report(period int64, key tagset.Key, c jaccard.Coefficien
 	ek := entryKey{period: period, key: key}
 	if prev, ok := m[key]; ok {
 		if c.CN <= prev.CN {
-			return true, false
+			return true, false, false
 		}
 		m[key] = c
 		s.updateTop(ek, prev, c)
-		return true, false
+		return true, false, true
 	}
 	m[key] = c
 	s.entries++
 	s.offer(ek, c)
-	return false, false
+	return false, false, false
 }
 
 // offer inserts a fresh entry into the heap if it belongs to the best

@@ -1,0 +1,76 @@
+package operators
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/jaccard"
+	"repro/internal/storm"
+	"repro/internal/tagset"
+	"repro/internal/trend"
+)
+
+// trendRelay plays the dataflow edge between Tracker and Trend: every
+// StreamTrend emission is executed on the bolt inline, so the benchmark
+// measures the full report path the pipeline runs per accepted coefficient.
+type trendRelay struct{ bolt *Trend }
+
+func (r *trendRelay) Emit(t storm.Tuple) {
+	if r.bolt != nil && t.Stream == StreamTrend {
+		r.bolt.Execute(t, nil)
+	}
+}
+func (r *trendRelay) EmitDirect(storm.TaskID, storm.Tuple) {}
+
+// BenchmarkTrendScore measures Tracker report throughput with the
+// streaming detector on versus off: the per-coefficient cost of trend
+// scoring (EWMA update, event record, period-heap maintenance) on top of
+// the Tracker's own table and heap work. Reported per CoeffBatch of 64.
+func BenchmarkTrendScore(b *testing.B) {
+	const batchSize = 64
+	rng := rand.New(rand.NewSource(1))
+	mkBatch := func(period int64) storm.Tuple {
+		cs := make([]jaccard.Coefficient, batchSize)
+		for i := range cs {
+			a := tagset.Tag(2 * rng.Intn(4096))
+			cs[i] = jaccard.Coefficient{
+				Tags: tagset.New(a, a+1),
+				J:    float64(rng.Intn(64)+1) / 64,
+				CN:   int64(rng.Intn(30) + 1),
+			}
+		}
+		return storm.Tuple{Stream: StreamCoeff, Values: []interface{}{CoeffBatch{Period: period, Coeffs: cs}}}
+	}
+	batches := make([]storm.Tuple, 512)
+	for i := range batches {
+		batches[i] = mkBatch(int64(1 + i/64)) // ~64 batches per period
+	}
+
+	for _, on := range []bool{false, true} {
+		b.Run(fmt.Sprintf("detector=%v", on), func(b *testing.B) {
+			tr := NewTrackerWith(16, 128, 0)
+			tr.SetRetention(8)
+			relay := &trendRelay{}
+			if on {
+				det, err := trend.NewStream(trend.StreamConfig{
+					Alpha:       0.4,
+					MinSupport:  2,
+					TopK:        64,
+					KeepPeriods: 8,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				tr.EnableTrendEmit()
+				relay.bolt = NewTrend(det)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Execute(batches[i%len(batches)], relay)
+			}
+			b.ReportMetric(float64(batchSize), "coeffs/op")
+		})
+	}
+}

@@ -1,0 +1,126 @@
+package operators
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/jaccard"
+	"repro/internal/storm"
+	"repro/internal/tagset"
+	"repro/internal/trend"
+)
+
+func coeffBatchTuple(period int64, cs ...jaccard.Coefficient) storm.Tuple {
+	return storm.Tuple{Stream: StreamCoeff, Values: []interface{}{CoeffBatch{
+		Period: period,
+		Coeffs: cs,
+	}}}
+}
+
+// TestTrackerTrendEmission pins the Tracker→Trend contract: exactly the
+// reports that change the Tracker's tables — fresh (period, tagset) values
+// and strictly-higher-CN upgrades — are forwarded on StreamTrend, so the
+// detector converges to the Tracker's deduplicated state.
+func TestTrackerTrendEmission(t *testing.T) {
+	tr := NewTrackerWith(4, 8, 0)
+	tr.EnableTrendEmit()
+	out := newCollector()
+	pair := tagset.New(1, 2)
+	c1 := jaccard.Coefficient{Tags: pair, J: 0.5, CN: 3}
+	c2 := jaccard.Coefficient{Tags: pair, J: 0.6, CN: 7}
+	c3 := jaccard.Coefficient{Tags: pair, J: 0.4, CN: 5}
+
+	tr.Execute(coeffBatchTuple(1, c1), out) // fresh: emitted
+	tr.Execute(coeffBatchTuple(1, c2), out) // CN upgrade: emitted
+	tr.Execute(coeffBatchTuple(1, c3), out) // lower CN: ignored
+
+	emits := out.byStream(StreamTrend)
+	if len(emits) != 2 {
+		t.Fatalf("trend emissions = %d, want 2 (fresh + upgrade)", len(emits))
+	}
+	for i, want := range []jaccard.Coefficient{c1, c2} {
+		msg := emits[i].Values[0].(TrendMsg)
+		if msg.Period != 1 || msg.Coeff.J != want.J || msg.Coeff.CN != want.CN {
+			t.Errorf("emission %d = %+v, want %+v", i, msg, want)
+		}
+	}
+	if got, _ := tr.Counts(); got != 3 {
+		t.Errorf("received = %d, want one per batched coefficient", got)
+	}
+}
+
+// TestTrackerTrendEmissionLateAndDisabled: late reports (pruned periods)
+// never reach the trend stream, and without EnableTrendEmit nothing does.
+func TestTrackerTrendEmissionLateAndDisabled(t *testing.T) {
+	tr := NewTrackerWith(2, 8, 0)
+	tr.EnableTrendEmit()
+	tr.SetRetention(1)
+	out := newCollector()
+	c := func(a tagset.Tag) jaccard.Coefficient {
+		return jaccard.Coefficient{Tags: tagset.New(a, a+1), J: 0.5, CN: 5}
+	}
+	tr.Execute(coeffBatchTuple(1, c(10)), out)
+	tr.Execute(coeffBatchTuple(2, c(20)), out) // prunes period 1
+	tr.Execute(coeffBatchTuple(1, c(30)), out) // late: dropped, not forwarded
+	if got := len(out.byStream(StreamTrend)); got != 2 {
+		t.Errorf("trend emissions = %d, want 2 (late report leaked)", got)
+	}
+	// Execute with a nil collector must not panic even with emission on.
+	tr.Execute(coeffBatchTuple(3, c(40)), nil)
+
+	off := NewTrackerWith(2, 8, 0)
+	out2 := newCollector()
+	off.Execute(coeffBatchTuple(1, c(10)), out2)
+	if got := len(out2.byStream(StreamTrend)); got != 0 {
+		t.Errorf("disabled tracker emitted %d trend tuples", got)
+	}
+}
+
+// TestTrendBoltFeedsDetector wires the Trend bolt to a detector directly.
+func TestTrendBoltFeedsDetector(t *testing.T) {
+	det, err := trend.NewStream(trend.StreamConfig{Alpha: 0.5, MinSupport: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bolt := NewTrend(det)
+	bolt.Prepare(&storm.TaskContext{})
+	feed := func(period int64, j float64) {
+		bolt.Execute(storm.Tuple{Stream: StreamTrend, Values: []interface{}{TrendMsg{
+			Period: period,
+			Coeff:  jaccard.Coefficient{Tags: tagset.New(1, 2), J: j, CN: 5},
+		}}}, nil)
+	}
+	feed(1, 0.2)
+	feed(2, 0.8)
+	if got := atomic.LoadInt64(&bolt.Observed); got != 2 {
+		t.Errorf("Observed = %d", got)
+	}
+	if bolt.Detector() != det {
+		t.Error("Detector() accessor broken")
+	}
+	top := det.TopTrends(2, 10)
+	if len(top) != 1 || top[0].Predicted != 0.2 || top[0].Observed != 0.8 {
+		t.Errorf("detector state after bolt feed = %v", top)
+	}
+}
+
+// TestTrendKeyStable: fields grouping must route every report of a tagset
+// to the same task.
+func TestTrendKeyStable(t *testing.T) {
+	mk := func(j float64) storm.Tuple {
+		return storm.Tuple{Stream: StreamTrend, Values: []interface{}{TrendMsg{
+			Period: 1,
+			Coeff:  jaccard.Coefficient{Tags: tagset.New(3, 9), J: j, CN: 1},
+		}}}
+	}
+	if TrendKey(mk(0.1)) != TrendKey(mk(0.9)) {
+		t.Error("TrendKey differs for the same tagset")
+	}
+	other := storm.Tuple{Stream: StreamTrend, Values: []interface{}{TrendMsg{
+		Period: 1,
+		Coeff:  jaccard.Coefficient{Tags: tagset.New(3, 10), J: 0.1, CN: 1},
+	}}}
+	if TrendKey(mk(0.1)) == TrendKey(other) {
+		t.Error("TrendKey collides for different tagsets (FNV should separate these)")
+	}
+}

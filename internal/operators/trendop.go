@@ -1,0 +1,50 @@
+package operators
+
+import (
+	"hash/fnv"
+	"sync/atomic"
+
+	"repro/internal/storm"
+	"repro/internal/trend"
+)
+
+// Trend is the streaming trend-detection operator: the bolt downstream of
+// the Tracker that feeds the shared trend.Stream detector with every
+// accepted coefficient report. Its instances subscribe fields-grouped on
+// the tagset key (TrendKey), so all reports of one tagset pass through the
+// same task — per-tagset arrival order is preserved however many Trend
+// tasks run, which is what the detector's upgrade-correction logic relies
+// on. The detector itself is shard-locked, so the tasks feed it
+// concurrently without coordination.
+type Trend struct {
+	det *trend.Stream
+
+	// Observed counts the reports this instance fed to the detector
+	// (atomic: read mid-run by tests and snapshots).
+	Observed int64
+}
+
+// NewTrend returns a Trend bolt feeding det.
+func NewTrend(det *trend.Stream) *Trend { return &Trend{det: det} }
+
+// Detector returns the shared streaming detector.
+func (tb *Trend) Detector() *trend.Stream { return tb.det }
+
+// Prepare implements storm.Bolt.
+func (tb *Trend) Prepare(*storm.TaskContext) {}
+
+// Execute implements storm.Bolt.
+func (tb *Trend) Execute(t storm.Tuple, _ storm.Collector) {
+	msg := t.Values[0].(TrendMsg)
+	tb.det.Observe(msg.Period, msg.Coeff)
+	atomic.AddInt64(&tb.Observed, 1)
+}
+
+// TrendKey hashes a TrendMsg's tagset for fields grouping, so every report
+// of one tagset reaches the same Trend task.
+func TrendKey(t storm.Tuple) uint64 {
+	msg := t.Values[0].(TrendMsg)
+	h := fnv.New64a()
+	h.Write([]byte(msg.Coeff.Tags.Key()))
+	return h.Sum64()
+}

@@ -12,19 +12,33 @@
 // only briefly), so it returns point data fresher than the cache without
 // scanning the full coefficient table.
 //
-// Endpoints (all GET, all JSON):
+// Endpoints (all GET, all JSON unless noted):
 //
-//	/topk?k=N           top-N coefficients so far (N capped at Config.TopK)
+//	/topk?k=N            top-N coefficients so far (N capped at Config.TopK)
 //	/pairs/{tagA}/{tagB} latest coefficient reported for the pair
-//	/partition          installed partitions: epoch, per-partition tags+load
-//	/stats              full snapshot: counters, quality stats, dataflow
-//	/healthz            liveness plus run state
+//	/trends?k=N          top trend deviations of the newest scored period
+//	/trends/{tags...}    live predictor state of one tagset (2+ tags)
+//	/events              SSE stream of trend events as they fire mid-run
+//	/partition           installed partitions: epoch, per-partition tags+load
+//	/stats               full snapshot: counters, quality stats, dataflow
+//	/healthz             liveness plus run state
+//
+// The trend endpoints require the pipeline to run with Config.Trend; they
+// answer 404 otherwise. /trends serves from the cached snapshot; the
+// predictor lookup reads the detector's shard directly (fresher than the
+// cache, briefly held lock); /events subscribes to the detector and pushes
+// every event scored at or above the configured threshold as an SSE
+// `trend` event, ending with an `end` event when the run drains. A slow
+// /events client loses events (bounded buffer, counted drops) but never
+// stalls the dataflow.
 package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -32,6 +46,7 @@ import (
 	"repro/internal/jaccard"
 	"repro/internal/partition"
 	"repro/internal/tagset"
+	"repro/internal/trend"
 )
 
 // Config tunes the query service.
@@ -142,6 +157,9 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /topk", s.handleTopK)
 	mux.HandleFunc("GET /pairs/{tagA}/{tagB}", s.handlePair)
+	mux.HandleFunc("GET /trends", s.handleTrends)
+	mux.HandleFunc("GET /trends/{tagA}/{rest...}", s.handleTrendLookup)
+	mux.HandleFunc("GET /events", s.handleEvents)
 	mux.HandleFunc("GET /partition", s.handlePartition)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -234,6 +252,199 @@ func (s *Server) handlePair(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, PairResponse{Tags: s.dict.Strings(c.Tags), J: c.J, CN: c.CN, Period: period, Evicted: evicted})
 }
 
+// TrendEvent is the JSON rendering of one scored trend deviation, shared by
+// /trends and the /events SSE feed.
+type TrendEvent struct {
+	Tags      []string `json:"tags"`
+	Period    int64    `json:"period"`
+	Predicted float64  `json:"predicted"`
+	Observed  float64  `json:"observed"`
+	Score     float64  `json:"score"`
+	Rising    bool     `json:"rising"`
+	CN        int64    `json:"cn"`
+}
+
+func (s *Server) trendEvent(e trend.Event) TrendEvent {
+	return TrendEvent{
+		Tags:      s.dict.Strings(e.Tags),
+		Period:    e.Period,
+		Predicted: e.Predicted,
+		Observed:  e.Observed,
+		Score:     e.Score,
+		Rising:    e.Rising,
+		CN:        e.CN,
+	}
+}
+
+// TrendsResponse is the /trends payload: the top deviations of the newest
+// scored period, from the cached snapshot.
+type TrendsResponse struct {
+	LatestPeriod int64        `json:"latest_period"`
+	K            int          `json:"k"`
+	Top          []TrendEvent `json:"top"`
+	Tracked      int          `json:"tracked"`
+	Scored       int64        `json:"events_scored"`
+	Published    int64        `json:"events_published"`
+	Threshold    float64      `json:"threshold"`
+}
+
+// trendDetector returns the pipeline's streaming detector, writing the
+// 404 the trend endpoints share when the pipeline runs without one.
+func (s *Server) trendDetector(w http.ResponseWriter) *trend.Stream {
+	det := s.pipe.Trends()
+	if det == nil {
+		httpError(w, http.StatusNotFound, "trend detection disabled (core.Config.Trend)")
+	}
+	return det
+}
+
+func (s *Server) handleTrends(w http.ResponseWriter, r *http.Request) {
+	det := s.trendDetector(w)
+	if det == nil {
+		return
+	}
+	snap := s.Snapshot()
+	k := 20
+	if q := r.URL.Query().Get("k"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "k must be a positive integer")
+			return
+		}
+		k = n
+	}
+	if k > s.cfg.TopK {
+		k = s.cfg.TopK
+	}
+	// The cached view holds at most the detector's maintained heap bound;
+	// clamp K so the response never claims a larger ranking than it can
+	// carry.
+	if bound := det.Config().TopK; k > bound {
+		k = bound
+	}
+	v := snap.Trends
+	top := v.Top
+	if len(top) > k {
+		top = top[:k]
+	}
+	resp := TrendsResponse{
+		LatestPeriod: v.LatestPeriod,
+		K:            k,
+		Top:          make([]TrendEvent, len(top)),
+		Tracked:      v.Stats.Tracked,
+		Scored:       v.Stats.Scored,
+		Published:    v.Stats.Published,
+		Threshold:    s.pipe.Trends().Config().Threshold,
+	}
+	for i, e := range top {
+		resp.Top[i] = s.trendEvent(e)
+	}
+	writeJSON(w, resp)
+}
+
+// TrendLookupResponse is the /trends/{tags...} payload: the live EWMA
+// predictor of one tagset, read shard-directly (fresher than the cache).
+type TrendLookupResponse struct {
+	Tags        []string `json:"tags"`
+	Expectation float64  `json:"expectation"`
+	Base        float64  `json:"base"`
+	LastPeriod  int64    `json:"last_period"`
+	Seen        int      `json:"seen"`
+}
+
+func (s *Server) handleTrendLookup(w http.ResponseWriter, r *http.Request) {
+	det := s.trendDetector(w)
+	if det == nil {
+		return
+	}
+	names := append([]string{r.PathValue("tagA")}, strings.Split(r.PathValue("rest"), "/")...)
+	ids := make([]tagset.Tag, len(names))
+	for i, name := range names {
+		id, ok := s.dict.Lookup(name)
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown tag")
+			return
+		}
+		ids[i] = id
+	}
+	set := tagset.New(ids...)
+	if set.Len() != len(names) || set.Len() < 2 {
+		httpError(w, http.StatusBadRequest, "need 2 or more distinct tags")
+		return
+	}
+	p, ok := det.Predictor(set.Key())
+	if !ok {
+		httpError(w, http.StatusNotFound, "no predictor for tagset")
+		return
+	}
+	writeJSON(w, TrendLookupResponse{
+		Tags:        s.dict.Strings(set),
+		Expectation: p.Expectation,
+		Base:        p.Base,
+		LastPeriod:  p.LastPeriod,
+		Seen:        p.Seen,
+	})
+}
+
+// handleEvents is the SSE feed: every trend event scored at or above the
+// detector's threshold is pushed as an `event: trend` frame while the run
+// streams. When the run drains, buffered events are flushed and the stream
+// ends with an `event: end` frame; a client disconnect ends it immediately.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	det := s.trendDetector(w)
+	if det == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	ch, cancel := det.Subscribe(256)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, ": tagcorrd trend events\n\n")
+	fl.Flush()
+
+	writeEvent := func(e trend.Event) bool {
+		data, err := json.Marshal(s.trendEvent(e))
+		if err != nil {
+			return false
+		}
+		_, err = fmt.Fprintf(w, "event: trend\ndata: %s\n\n", data)
+		fl.Flush()
+		return err == nil
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case e := <-ch:
+			if !writeEvent(e) {
+				return
+			}
+		case <-s.handle.Done():
+			// Drained: no further events can be scored; flush what is
+			// buffered and close the stream.
+			for {
+				select {
+				case e := <-ch:
+					if !writeEvent(e) {
+						return
+					}
+				default:
+					fmt.Fprint(w, "event: end\ndata: {}\n\n")
+					fl.Flush()
+					return
+				}
+			}
+		}
+	}
+}
+
 // PartitionInfo is one partition in the /partition payload.
 type PartitionInfo struct {
 	Index int      `json:"index"`
@@ -294,9 +505,29 @@ type StatsResponse struct {
 	CoefficientsDuplicate int64   `json:"coefficients_duplicate"`
 
 	Tracker TrackerStats `json:"tracker"`
+	Trends  *TrendStats  `json:"trends,omitempty"`
 
 	EmittedByComponent  map[string]int64 `json:"emitted_by_component"`
 	ReceivedByComponent map[string]int64 `json:"received_by_component"`
+}
+
+// TrendStats is the /stats rendering of the streaming detector's internal
+// structure; present only when the pipeline runs with trend detection.
+type TrendStats struct {
+	Shards          int   `json:"shards"`
+	TopKBound       int   `json:"topk_bound"`
+	Tracked         int   `json:"tracked_predictors"`
+	RetainedPeriods int   `json:"retained_periods"`
+	HeapEntries     int   `json:"heap_entries"`
+	Rebuilds        int64 `json:"heap_rebuilds"`
+	PrunedPeriods   int64 `json:"pruned_periods"`
+	Scored          int64 `json:"events_scored"`
+	Filtered        int64 `json:"filtered"`
+	OutOfOrder      int64 `json:"out_of_order"`
+	Late            int64 `json:"late"`
+	Published       int64 `json:"events_published"`
+	Dropped         int64 `json:"subscriber_drops"`
+	Subscribers     int   `json:"subscribers"`
 }
 
 // TrackerStats is the /stats rendering of the Tracker's internal structure:
@@ -317,6 +548,25 @@ type TrackerStats struct {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := s.Snapshot()
+	var trends *TrendStats
+	if v := snap.Trends; v != nil {
+		trends = &TrendStats{
+			Shards:          v.Stats.Shards,
+			TopKBound:       v.Stats.TopKBound,
+			Tracked:         v.Stats.Tracked,
+			RetainedPeriods: v.Stats.RetainedPeriods,
+			HeapEntries:     v.Stats.HeapEntries,
+			Rebuilds:        v.Stats.Rebuilds,
+			PrunedPeriods:   v.Stats.PrunedPeriods,
+			Scored:          v.Stats.Scored,
+			Filtered:        v.Stats.Filtered,
+			OutOfOrder:      v.Stats.OutOfOrder,
+			Late:            v.Stats.Late,
+			Published:       v.Stats.Published,
+			Dropped:         v.Stats.Dropped,
+			Subscribers:     v.Stats.Subscribers,
+		}
+	}
 	writeJSON(w, StatsResponse{
 		DocsProcessed:     snap.DocsProcessed,
 		DocsBeforeInstall: snap.DocsBeforeInstall,
@@ -354,6 +604,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			EvictedHits:     snap.Tracker.EvictedHits,
 			Late:            snap.Tracker.Late,
 		},
+		Trends: trends,
 
 		EmittedByComponent:  snap.EmittedByComponent,
 		ReceivedByComponent: snap.ReceivedByComponent,

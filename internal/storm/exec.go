@@ -193,14 +193,37 @@ func (c *conCollector) EmitDirect(dst TaskID, t Tuple) {
 	c.ex.send(dst, t)
 }
 
-// maxSpoutPending bounds the number of unprocessed tuples in flight before
-// spouts are throttled — the analogue of Storm's max.spout.pending. Without
-// it a fast spout floods the topology and control loops (repartition
-// requests, partition installs) lag arbitrarily far behind the data.
-const maxSpoutPending = 4096
+// defaultMaxSpoutPending is the default bound on unprocessed tuples in
+// flight before spouts are throttled — the analogue of Storm's
+// max.spout.pending. Without it a fast spout floods the topology and
+// control loops (repartition requests, partition installs) lag arbitrarily
+// far behind the data. SetMaxSpoutPending overrides it per topology.
+const defaultMaxSpoutPending = 4096
+
+// SetMaxSpoutPending sets this topology's spout throttle: the concurrent
+// executor blocks spouts while at least n tuples are in flight. n <= 0
+// restores the default (4096). Call before the run starts; the value is
+// read once at StartConcurrent.
+func (tp *Topology) SetMaxSpoutPending(n int) {
+	if n <= 0 {
+		n = defaultMaxSpoutPending
+	}
+	tp.maxPending = n
+}
+
+// MaxSpoutPending returns the topology's spout throttle.
+func (tp *Topology) MaxSpoutPending() int {
+	if tp.maxPending <= 0 {
+		return defaultMaxSpoutPending
+	}
+	return tp.maxPending
+}
 
 type conExecutor struct {
-	tp       *Topology
+	tp      *Topology
+	pending int64 // spout throttle, frozen from the topology at start
+	wakeAt  int64 // broadcast threshold: ceil(pending/2), >= 1 so a
+	// throttle of 1 still wakes when the dataflow fully drains
 	boxes    []*mailbox
 	inflight int64
 	quiet    chan struct{} // closed... signalled via checkQuiet
@@ -227,7 +250,7 @@ func (ex *conExecutor) done(n int64) {
 	if left == 0 && atomic.LoadInt32(&ex.spoutsDn) == 1 {
 		ex.signalQuiet()
 	}
-	if left < maxSpoutPending/2 && atomic.LoadInt64(&ex.throttled) > 0 {
+	if left < ex.wakeAt && atomic.LoadInt64(&ex.throttled) > 0 {
 		// The broadcast must hold throttleMu: a spout that has registered
 		// but not yet parked in Wait would otherwise miss it and — if this
 		// was the last in-flight tuple — sleep forever. A spout not yet
@@ -242,12 +265,12 @@ func (ex *conExecutor) done(n int64) {
 // waitBelowPending blocks spouts while the in-flight tuple count is at the
 // cap. Workers always drain independently, so this cannot deadlock.
 func (ex *conExecutor) waitBelowPending() {
-	if atomic.LoadInt64(&ex.inflight) < maxSpoutPending {
+	if atomic.LoadInt64(&ex.inflight) < ex.pending {
 		return
 	}
 	ex.throttleMu.Lock()
 	atomic.AddInt64(&ex.throttled, 1)
-	for atomic.LoadInt64(&ex.inflight) >= maxSpoutPending {
+	for atomic.LoadInt64(&ex.inflight) >= ex.pending {
 		ex.throttle.Wait()
 	}
 	atomic.AddInt64(&ex.throttled, -1)
@@ -309,7 +332,8 @@ func (tp *Topology) RunConcurrent() *Stats {
 // expose snapshot methods guarded by their own locks may likewise be
 // queried mid-run — this is the read path the live query service uses.
 func (tp *Topology) StartConcurrent() *Run {
-	ex := &conExecutor{tp: tp, quiet: make(chan struct{})}
+	ex := &conExecutor{tp: tp, pending: int64(tp.MaxSpoutPending()), quiet: make(chan struct{})}
+	ex.wakeAt = (ex.pending + 1) / 2
 	ex.throttle = sync.NewCond(&ex.throttleMu)
 	ex.boxes = make([]*mailbox, len(tp.tasks))
 	for i := range ex.boxes {

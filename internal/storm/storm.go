@@ -227,6 +227,7 @@ type Topology struct {
 	components map[string]*node
 	tasks      []*task
 	stats      *Stats
+	maxPending int // spout throttle; 0 means the default
 }
 
 // task is one runtime instance.

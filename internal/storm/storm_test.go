@@ -2,7 +2,9 @@ package storm
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // listSpout emits the given values one per NextTuple call.
@@ -457,5 +459,111 @@ func TestGroupingStrings(t *testing.T) {
 	}
 	if groupingKind(99).String() != "unknown" {
 		t.Error("unknown kind string")
+	}
+}
+
+// slowSink processes tuples with a tiny spin so the spout can outrun it.
+type slowSink struct {
+	processed int64 // atomic
+	produced  *int64
+	maxLag    int64 // atomic: max produced-processed observed
+}
+
+func (b *slowSink) Prepare(*TaskContext) {}
+func (b *slowSink) Execute(t Tuple, _ Collector) {
+	lag := atomic.LoadInt64(b.produced) - atomic.LoadInt64(&b.processed)
+	for {
+		cur := atomic.LoadInt64(&b.maxLag)
+		if lag <= cur || atomic.CompareAndSwapInt64(&b.maxLag, cur, lag) {
+			break
+		}
+	}
+	atomic.AddInt64(&b.processed, 1)
+}
+
+// countingSpout emits n tuples, incrementing a shared counter per emission.
+type countingSpout struct {
+	n        int
+	produced *int64
+}
+
+func (s *countingSpout) Open(*TaskContext) {}
+func (s *countingSpout) NextTuple(out Collector) bool {
+	if s.n == 0 {
+		return false
+	}
+	s.n--
+	atomic.AddInt64(s.produced, 1)
+	out.Emit(Tuple{Values: []interface{}{0}})
+	return true
+}
+
+// TestMaxSpoutPendingConfigurable pins the per-topology spout throttle: a
+// low setting keeps the spout within the configured bound of the sink
+// (small slack for the emit-then-wait window), every tuple still arrives,
+// and the default is restored by a non-positive setting.
+func TestMaxSpoutPendingConfigurable(t *testing.T) {
+	const docs = 5000
+	var produced int64
+	sink := &slowSink{produced: &produced}
+	b := NewBuilder()
+	b.Spout("src", func() Spout { return &countingSpout{n: docs, produced: &produced} }, 1)
+	b.Bolt("sink", func() Bolt { return sink }, 1).Shuffle("src")
+	tp, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tp.MaxSpoutPending(); got != 4096 {
+		t.Fatalf("default throttle = %d, want 4096", got)
+	}
+	tp.SetMaxSpoutPending(8)
+	if got := tp.MaxSpoutPending(); got != 8 {
+		t.Fatalf("throttle = %d after SetMaxSpoutPending(8)", got)
+	}
+	tp.RunConcurrent()
+
+	if got := atomic.LoadInt64(&sink.processed); got != docs {
+		t.Errorf("sink processed %d of %d tuples", got, docs)
+	}
+	// The spout checks the throttle after emitting, so it can overshoot by
+	// the one in-flight emission; anything near the default would mean the
+	// configured bound was ignored.
+	if lag := atomic.LoadInt64(&sink.maxLag); lag > 16 {
+		t.Errorf("max spout lead = %d with throttle 8", lag)
+	}
+
+	tp2, _ := buildLinear(t, 1, ints(16))
+	tp2.SetMaxSpoutPending(8)
+	tp2.SetMaxSpoutPending(0) // non-positive restores the default
+	if got := tp2.MaxSpoutPending(); got != 4096 {
+		t.Errorf("throttle after reset = %d, want 4096", got)
+	}
+}
+
+// timeAfter returns a 60s deadline channel (helper for deadlock guards).
+func timeAfter(t *testing.T) <-chan time.Time {
+	t.Helper()
+	return time.After(60 * time.Second)
+}
+
+// TestMaxSpoutPendingOne pins the tightest throttle: with one tuple in
+// flight at a time the wake threshold must still fire when the dataflow
+// drains, or the spout sleeps forever (the lost-wakeup regression a
+// floor-halved threshold would reintroduce).
+func TestMaxSpoutPendingOne(t *testing.T) {
+	tp, sinks := buildLinear(t, 1, ints(200))
+	tp.SetMaxSpoutPending(1)
+	done := make(chan struct{})
+	go func() {
+		tp.RunConcurrent()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-timeAfter(t):
+		t.Fatal("run deadlocked with MaxSpoutPending(1)")
+	}
+	if sinks[0].byMe != 200 {
+		t.Errorf("sink got %d tuples, want 200", sinks[0].byMe)
 	}
 }

@@ -258,19 +258,64 @@ func WriteJSONL(w io.Writer, dict *tagset.Dictionary, docs []Document) error {
 // ReadJSONL streams documents from r, interning tags into dict and calling
 // fn for each document. It stops early if fn returns a non-nil error.
 func ReadJSONL(r io.Reader, dict *tagset.Dictionary, fn func(Document) error) error {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	line := 0
-	for sc.Scan() {
-		line++
-		var jd jsonDoc
-		if err := json.Unmarshal(sc.Bytes(), &jd); err != nil {
-			return fmt.Errorf("stream: line %d: %w", line, err)
+	src := NewJSONLSource(r, dict)
+	for {
+		doc, ok := src.Next()
+		if !ok {
+			return src.Err()
 		}
-		doc := Document{ID: jd.ID, Time: Millis(jd.Time), Tags: dict.InternSet(jd.Tags)}
 		if err := fn(doc); err != nil {
 			return err
 		}
 	}
-	return sc.Err()
 }
+
+// JSONLSource decodes a JSONL capture one line at a time: each Next call
+// reads and parses exactly one document, so replaying a capture of any
+// length holds O(1) of it in memory (the scanner's line buffer). This is
+// the replay path of tagcorrd -in; ReadJSONL is the same machinery behind
+// a callback.
+//
+// Next returns false at end of input and after the first malformed line;
+// Err distinguishes the two. A JSONLSource is not safe for concurrent use.
+type JSONLSource struct {
+	sc   *bufio.Scanner
+	dict *tagset.Dictionary
+	line int
+	err  error
+	done bool
+}
+
+// NewJSONLSource returns a source reading from r, interning tags into dict.
+func NewJSONLSource(r io.Reader, dict *tagset.Dictionary) *JSONLSource {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	return &JSONLSource{sc: sc, dict: dict}
+}
+
+// Next returns the next document, or false when the input is exhausted or
+// a line failed to parse (check Err).
+func (s *JSONLSource) Next() (Document, bool) {
+	if s.done {
+		return Document{}, false
+	}
+	if !s.sc.Scan() {
+		s.done = true
+		s.err = s.sc.Err()
+		return Document{}, false
+	}
+	s.line++
+	var jd jsonDoc
+	if err := json.Unmarshal(s.sc.Bytes(), &jd); err != nil {
+		s.done = true
+		s.err = fmt.Errorf("stream: line %d: %w", s.line, err)
+		return Document{}, false
+	}
+	return Document{ID: jd.ID, Time: Millis(jd.Time), Tags: s.dict.InternSet(jd.Tags)}, true
+}
+
+// Err returns the first scan or parse error (nil at clean end of input).
+func (s *JSONLSource) Err() error { return s.err }
+
+// Lines reports the number of input lines consumed so far.
+func (s *JSONLSource) Lines() int { return s.line }

@@ -3,6 +3,7 @@ package stream
 import (
 	"bytes"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/tagset"
@@ -198,5 +199,62 @@ func TestQuickSlidingWindowCountConsistency(t *testing.T) {
 		if total != int64(w.Len()) {
 			t.Fatalf("snapshot total %d != Len %d", total, w.Len())
 		}
+	}
+}
+
+// TestJSONLSourceLazy pins the lazy replay path: documents come out one
+// Next call at a time and match the eager reader, a clean end reports no
+// error, and a malformed line ends the stream with the line number in the
+// error instead of panicking or skipping.
+func TestJSONLSourceLazy(t *testing.T) {
+	dict := tagset.NewDictionary()
+	docs := []Document{
+		{ID: 1, Time: 10, Tags: dict.InternSet([]string{"a", "b"})},
+		{ID: 2, Time: 20, Tags: dict.InternSet([]string{"b", "c"})},
+		{ID: 3, Time: 30, Tags: dict.InternSet([]string{"a"})},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, dict, docs); err != nil {
+		t.Fatal(err)
+	}
+
+	src := NewJSONLSource(bytes.NewReader(buf.Bytes()), dict)
+	for i, want := range docs {
+		got, ok := src.Next()
+		if !ok {
+			t.Fatalf("source ended at doc %d", i)
+		}
+		if got.ID != want.ID || got.Time != want.Time || !got.Tags.Equal(want.Tags) {
+			t.Errorf("doc %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, ok := src.Next(); ok {
+		t.Error("source yielded a document past the end")
+	}
+	if err := src.Err(); err != nil {
+		t.Errorf("clean end reports %v", err)
+	}
+	if src.Lines() != len(docs) {
+		t.Errorf("Lines() = %d, want %d", src.Lines(), len(docs))
+	}
+	// Next after end stays terminal.
+	if _, ok := src.Next(); ok {
+		t.Error("source restarted after end")
+	}
+
+	bad := buf.String() + "not json\n"
+	src = NewJSONLSource(strings.NewReader(bad), dict)
+	n := 0
+	for {
+		if _, ok := src.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != len(docs) {
+		t.Errorf("parsed %d docs before the bad line, want %d", n, len(docs))
+	}
+	if err := src.Err(); err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Errorf("bad line error = %v, want line 4", err)
 	}
 }

@@ -1,0 +1,48 @@
+package topselect
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSelectMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	before := func(a, b int) bool { return a > b }
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(200)
+		k := rng.Intn(32)
+		items := make([]int, n)
+		for i := range items {
+			items[i] = rng.Intn(50) // dense in ties
+		}
+		want := append([]int(nil), items...)
+		sort.Sort(sort.Reverse(sort.IntSlice(want)))
+		if k > 0 && k < len(want) {
+			want = want[:k]
+		}
+		got := Select(items, k, before)
+		sort.Sort(sort.Reverse(sort.IntSlice(got)))
+		if len(got) != len(want) {
+			t.Fatalf("n=%d k=%d: got %d items, want %d", n, k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d k=%d: got %v, want %v", n, k, got, want)
+			}
+		}
+	}
+}
+
+func TestSelectEdgeCases(t *testing.T) {
+	before := func(a, b int) bool { return a > b }
+	if got := Select([]int{1, 2}, 0, before); len(got) != 2 {
+		t.Errorf("k=0 should return all, got %v", got)
+	}
+	if got := Select([]int{1, 2}, 5, before); len(got) != 2 {
+		t.Errorf("k>len should return all, got %v", got)
+	}
+	if got := Select(nil, 3, before); got != nil {
+		t.Errorf("nil input: %v", got)
+	}
+}

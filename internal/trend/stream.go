@@ -1,0 +1,665 @@
+package trend
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/jaccard"
+	"repro/internal/tagset"
+	"repro/internal/topselect"
+)
+
+// StreamConfig tunes the streaming detector. Alpha, MinSupport and
+// MaxTracked have the batch Detector's semantics; the remaining knobs size
+// the concurrent structure.
+type StreamConfig struct {
+	// Alpha is the exponential-smoothing factor of the per-tagset
+	// predictor (see Config.Alpha).
+	Alpha float64
+	// MinSupport drops observations with a smaller intersection counter.
+	MinSupport int64
+	// MaxTracked bounds the number of live predictors across all shards
+	// (approximately: the bound is enforced per shard). Zero is unbounded.
+	MaxTracked int
+	// TopK bounds the incrementally maintained per-period top-trends heaps.
+	// TopTrends(period, k) with k <= TopK is served from the heaps without
+	// scanning the period's scored events. Zero uses the default 64.
+	TopK int
+	// Threshold is the minimum score at which an event is pushed to
+	// subscribers (the SSE feed). Scoring and the top-trends heaps are not
+	// affected; zero publishes every scored event.
+	Threshold float64
+	// Shards is the number of lock shards (rounded up to a power of two).
+	// Zero uses the default 8.
+	Shards int
+	// KeepPeriods bounds the per-period trend state (scored events and
+	// top-trends heaps) to the newest n periods. Predictors are not
+	// affected: they are the smoothed expectation state and persist across
+	// period pruning. Zero keeps every period — the batch default.
+	KeepPeriods int
+}
+
+// DefaultStreamConfig returns a moderate live-service configuration.
+func DefaultStreamConfig() StreamConfig {
+	return StreamConfig{
+		Alpha:      0.4,
+		MinSupport: 5,
+		MaxTracked: 1 << 18,
+		TopK:       64,
+		Threshold:  0.1,
+		Shards:     8,
+	}
+}
+
+// Validate reports the first configuration error, or nil.
+func (c StreamConfig) Validate() error {
+	switch {
+	case c.Alpha <= 0 || c.Alpha > 1:
+		return fmt.Errorf("trend: alpha = %g", c.Alpha)
+	case c.MinSupport < 1:
+		return fmt.Errorf("trend: minSupport = %d", c.MinSupport)
+	case c.MaxTracked < 0:
+		return fmt.Errorf("trend: maxTracked = %d", c.MaxTracked)
+	case c.TopK < 0:
+		return fmt.Errorf("trend: topK = %d", c.TopK)
+	case c.Threshold < 0 || c.Threshold > 1:
+		return fmt.Errorf("trend: threshold = %g", c.Threshold)
+	case c.Shards < 0:
+		return fmt.Errorf("trend: shards = %d", c.Shards)
+	case c.KeepPeriods < 0:
+		return fmt.Errorf("trend: keepPeriods = %d", c.KeepPeriods)
+	}
+	return nil
+}
+
+// PredictorState is the live state of one tagset's predictor, as exposed by
+// Stream.Predictor (the /trends/{tags...} point lookup).
+type PredictorState struct {
+	// Expectation is the smoothed correlation after the latest observation.
+	Expectation float64
+	// Base is the expectation the latest observation was scored against
+	// (meaningless while Seen == 1: the first sighting has no base).
+	Base float64
+	// LastPeriod is the newest period observed; Seen counts observed
+	// periods.
+	LastPeriod int64
+	Seen       int
+}
+
+// StreamStats is a point-in-time view of the streaming detector's internal
+// structure, exposed through core.Snapshot and /stats-style surfaces.
+type StreamStats struct {
+	Shards    int // lock shard count
+	TopKBound int // per-period maintained heap bound
+
+	Tracked         int   // live predictors across all shards
+	RetainedPeriods int   // periods with live trend state
+	HeapEntries     int   // entries currently held across the period heaps
+	Rebuilds        int64 // heap rebuilds (demotions while entries excluded)
+	PrunedPeriods   int64 // periods evicted by KeepPeriods so far
+
+	Scored     int64 // deviation events scored (including corrections)
+	Filtered   int64 // observations below MinSupport
+	OutOfOrder int64 // observations older than their predictor's period
+	Late       int64 // observations for periods already pruned by retention
+	Published  int64 // events delivered to at least one subscriber
+	Dropped    int64 // per-subscriber deliveries lost to full buffers
+
+	Subscribers int // live event subscribers
+}
+
+// Stream is the concurrent streaming detector: the same EWMA scoring as the
+// batch Detector, restructured for a live pipeline. Observations arrive one
+// coefficient at a time (the Trend operator feeds it from the Tracker's
+// deduplicated report stream), predictors live in lock shards keyed by the
+// tagset-key hash, and every period's scored events are incrementally
+// maintained in a bounded top-trends heap per shard — the Tracker's
+// indexed-heap pattern — so top-trend queries never scan the scored-event
+// tables. All methods are safe for concurrent use.
+type Stream struct {
+	cfg    StreamConfig
+	shards []*streamShard
+	mask   uint64
+
+	reg struct {
+		mu     sync.Mutex
+		known  map[int64]struct{}
+		floor  int64
+		pruned int64
+	}
+	latest int64 // atomic: newest period observed
+
+	scored     int64 // atomic
+	filtered   int64 // atomic
+	outOfOrder int64 // atomic
+	late       int64 // atomic
+	published  int64 // atomic
+	dropped    int64 // atomic
+
+	subMu   sync.Mutex
+	subs    map[int]chan Event
+	nextSub int
+}
+
+// NewStream returns a streaming detector, validating the configuration.
+func NewStream(cfg StreamConfig) (*Stream, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.TopK == 0 {
+		cfg.TopK = 64
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 8
+	}
+	n := 1
+	for n < cfg.Shards {
+		n <<= 1
+	}
+	s := &Stream{
+		cfg:    cfg,
+		shards: make([]*streamShard, n),
+		mask:   uint64(n - 1),
+		subs:   make(map[int]chan Event),
+	}
+	maxPerShard := 0
+	if cfg.MaxTracked > 0 {
+		maxPerShard = (cfg.MaxTracked + n - 1) / n
+		if maxPerShard < 1 {
+			maxPerShard = 1
+		}
+	}
+	for i := range s.shards {
+		s.shards[i] = newStreamShard(cfg.TopK, maxPerShard)
+	}
+	s.reg.known = make(map[int64]struct{})
+	s.reg.floor = math.MinInt64
+	s.latest = math.MinInt64
+	return s, nil
+}
+
+// shardOf routes a tagset key to its shard (FNV-1a over the key bytes, the
+// Tracker's routing hash).
+func (s *Stream) shardOf(k tagset.Key) *streamShard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(k); i++ {
+		h ^= uint64(k[i])
+		h *= 1099511628211
+	}
+	return s.shards[h&s.mask]
+}
+
+// Observe feeds one deduplicated coefficient report. The Tracker emits every
+// accepted report exactly once per (period, tagset) value — fresh reports
+// and CN upgrades — so Observe must handle both: an upgrade for the
+// predictor's current period re-scores the period against the same base and
+// corrects the smoothed expectation, exactly as if only the final value had
+// been observed. Events at or above Threshold are pushed to subscribers.
+func (s *Stream) Observe(period int64, c jaccard.Coefficient) {
+	if c.CN < s.cfg.MinSupport {
+		atomic.AddInt64(&s.filtered, 1)
+		return
+	}
+	retained, prune := s.ensurePeriod(period)
+	for _, p := range prune {
+		for _, sh := range s.shards {
+			sh.mu.Lock()
+			sh.evictPeriod(p)
+			sh.mu.Unlock()
+		}
+	}
+	if !retained {
+		// At or below the pruning floor: scoring would resurrect evicted
+		// period state that retention could never prune again.
+		atomic.AddInt64(&s.late, 1)
+		return
+	}
+
+	key := c.Tags.Key()
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	ev, scored, outOfOrder, shardLate := sh.observe(s.cfg.Alpha, period, key, c)
+	sh.mu.Unlock()
+
+	if shardLate {
+		// Pruned between the registry check and the shard lock.
+		atomic.AddInt64(&s.late, 1)
+		return
+	}
+	if outOfOrder {
+		atomic.AddInt64(&s.outOfOrder, 1)
+		return
+	}
+	if !scored {
+		return
+	}
+	atomic.AddInt64(&s.scored, 1)
+	for {
+		cur := atomic.LoadInt64(&s.latest)
+		if period <= cur || atomic.CompareAndSwapInt64(&s.latest, cur, period) {
+			break
+		}
+	}
+	if ev.Score >= s.cfg.Threshold {
+		s.publish(ev)
+	}
+}
+
+// ensurePeriod registers period in the retention registry, reporting
+// whether it is retained plus the period ids this call decided to prune
+// (each handed out exactly once).
+func (s *Stream) ensurePeriod(period int64) (retained bool, prune []int64) {
+	r := &s.reg
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if period <= r.floor {
+		return false, nil
+	}
+	if _, known := r.known[period]; known {
+		return true, nil
+	}
+	r.known[period] = struct{}{}
+	if s.cfg.KeepPeriods > 0 {
+		for len(r.known) > s.cfg.KeepPeriods {
+			oldest := period
+			for p := range r.known {
+				if p < oldest {
+					oldest = p
+				}
+			}
+			delete(r.known, oldest)
+			if oldest > r.floor {
+				r.floor = oldest
+			}
+			r.pruned++
+			prune = append(prune, oldest)
+		}
+	}
+	_, retained = r.known[period]
+	return retained, prune
+}
+
+// publish delivers ev to every subscriber, dropping per subscriber when its
+// buffer is full — a slow SSE client can lose events but never stalls the
+// dataflow.
+func (s *Stream) publish(ev Event) {
+	s.subMu.Lock()
+	delivered := false
+	for _, ch := range s.subs {
+		select {
+		case ch <- ev:
+			delivered = true
+		default:
+			atomic.AddInt64(&s.dropped, 1)
+		}
+	}
+	s.subMu.Unlock()
+	if delivered {
+		atomic.AddInt64(&s.published, 1)
+	}
+}
+
+// Subscribe registers an event subscriber with the given channel buffer
+// (<= 0 uses 64) and returns the channel plus a cancel function. Cancel
+// closes the channel; events scored while the buffer is full are dropped
+// for this subscriber only.
+func (s *Stream) Subscribe(buffer int) (<-chan Event, func()) {
+	if buffer <= 0 {
+		buffer = 64
+	}
+	ch := make(chan Event, buffer)
+	s.subMu.Lock()
+	id := s.nextSub
+	s.nextSub++
+	s.subs[id] = ch
+	s.subMu.Unlock()
+	var once sync.Once
+	return ch, func() {
+		once.Do(func() {
+			s.subMu.Lock()
+			delete(s.subs, id)
+			s.subMu.Unlock()
+			close(ch)
+		})
+	}
+}
+
+// Config returns the validated configuration the stream runs with
+// (defaults filled in).
+func (s *Stream) Config() StreamConfig { return s.cfg }
+
+// LatestPeriod returns the newest period a deviation was scored in
+// (math.MinInt64 before the first event).
+func (s *Stream) LatestPeriod() int64 { return atomic.LoadInt64(&s.latest) }
+
+// Periods returns the period ids with live trend state, ascending.
+func (s *Stream) Periods() []int64 {
+	s.reg.mu.Lock()
+	out := make([]int64, 0, len(s.reg.known))
+	for p := range s.reg.known {
+		out = append(out, p)
+	}
+	s.reg.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Tracked reports the number of live predictors across all shards.
+func (s *Stream) Tracked() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += len(sh.preds)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Predictor returns the live predictor state of one tagset key.
+func (s *Stream) Predictor(k tagset.Key) (PredictorState, bool) {
+	sh := s.shardOf(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	p, ok := sh.preds[k]
+	if !ok {
+		return PredictorState{}, false
+	}
+	return PredictorState{Expectation: p.exp, Base: p.base, LastPeriod: p.period, Seen: p.seen}, true
+}
+
+// TopTrends returns the k highest-scoring events of one period, ordered by
+// descending score (ties: ascending tagset key) — the batch Detector's
+// event order. For k within the maintained bound the call merges the
+// shards' period heaps and never scans the scored-event tables; k <= 0 or
+// k > TopK falls back to a full gather.
+func (s *Stream) TopTrends(period int64, k int) []Event {
+	var cand []trendEntry
+	heapPath := k > 0 && k <= s.cfg.TopK
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if heapPath {
+			if h := sh.tops[period]; h != nil {
+				cand = append(cand, h.entries...)
+			}
+		} else {
+			for key, ev := range sh.events[period] {
+				cand = append(cand, trendEntry{key: key, ev: ev})
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if k > 0 && len(cand) > k {
+		cand = topselect.Select(cand, k, trendBefore)
+	}
+	sort.Slice(cand, func(i, j int) bool { return trendBefore(cand[i], cand[j]) })
+	out := make([]Event, len(cand))
+	for i, e := range cand {
+		out[i] = e.ev
+	}
+	return out
+}
+
+// StatsSnapshot gathers the structural counters under the shard locks.
+func (s *Stream) StatsSnapshot() StreamStats {
+	st := StreamStats{
+		Shards:     len(s.shards),
+		TopKBound:  s.cfg.TopK,
+		Scored:     atomic.LoadInt64(&s.scored),
+		Filtered:   atomic.LoadInt64(&s.filtered),
+		OutOfOrder: atomic.LoadInt64(&s.outOfOrder),
+		Late:       atomic.LoadInt64(&s.late),
+		Published:  atomic.LoadInt64(&s.published),
+		Dropped:    atomic.LoadInt64(&s.dropped),
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		st.Tracked += len(sh.preds)
+		for _, h := range sh.tops {
+			st.HeapEntries += h.Len()
+		}
+		st.Rebuilds += sh.rebuilds
+		sh.mu.Unlock()
+	}
+	s.reg.mu.Lock()
+	st.RetainedPeriods = len(s.reg.known)
+	st.PrunedPeriods = s.reg.pruned
+	s.reg.mu.Unlock()
+	s.subMu.Lock()
+	st.Subscribers = len(s.subs)
+	s.subMu.Unlock()
+	return st
+}
+
+// streamPredictor is one tagset's live EWMA state. base is the expectation
+// the current period was scored against — kept so a duplicate upgrade for
+// the same period can re-score and re-smooth as if only the final value had
+// been observed.
+type streamPredictor struct {
+	base   float64
+	exp    float64
+	period int64
+	seen   int
+}
+
+// trendEntry is one scored event in a period heap, with its tagset key
+// cached for the membership index and the tie-break.
+type trendEntry struct {
+	key tagset.Key
+	ev  Event
+}
+
+// trendBefore ranks events by descending score, then ascending tagset key —
+// the batch Detector's sort order.
+func trendBefore(a, b trendEntry) bool {
+	if a.ev.Score != b.ev.Score {
+		return a.ev.Score > b.ev.Score
+	}
+	return a.key < b.key
+}
+
+// trendIndex is a bounded indexed min-heap under trendBefore (the Tracker's
+// topIndex pattern): the root ranks last among the kept events and pos maps
+// every kept tagset key to its slot, so score corrections are O(log bound).
+type trendIndex struct {
+	entries []trendEntry
+	pos     map[tagset.Key]int
+}
+
+func (h *trendIndex) Len() int           { return len(h.entries) }
+func (h *trendIndex) Less(i, j int) bool { return trendBefore(h.entries[j], h.entries[i]) }
+func (h *trendIndex) Swap(i, j int) {
+	h.entries[i], h.entries[j] = h.entries[j], h.entries[i]
+	h.pos[h.entries[i].key] = i
+	h.pos[h.entries[j].key] = j
+}
+func (h *trendIndex) Push(x interface{}) {
+	e := x.(trendEntry)
+	h.pos[e.key] = len(h.entries)
+	h.entries = append(h.entries, e)
+}
+func (h *trendIndex) Pop() interface{} {
+	old := h.entries
+	e := old[len(old)-1]
+	h.entries = old[:len(old)-1]
+	delete(h.pos, e.key)
+	return e
+}
+
+// streamShard owns the predictors and per-period trend state of the tagset
+// keys that hash to it.
+//
+// Invariant (per period p): tops[p] holds exactly the best
+// min(bound, len(events[p])) scored events of this shard under trendBefore.
+// Fresh events and upward corrections maintain it in O(log bound); a
+// downward correction of an in-heap event while others are excluded
+// rebuilds the period heap from the events table.
+type streamShard struct {
+	mu     sync.Mutex
+	preds  map[tagset.Key]*streamPredictor
+	events map[int64]map[tagset.Key]Event
+	tops   map[int64]*trendIndex
+
+	bound    int   // heap bound per period
+	maxPreds int   // predictor cap; 0 unbounded
+	floor    int64 // shard-local copy of the pruning floor
+	rebuilds int64
+}
+
+func newStreamShard(bound, maxPreds int) *streamShard {
+	return &streamShard{
+		preds:    make(map[tagset.Key]*streamPredictor),
+		events:   make(map[int64]map[tagset.Key]Event),
+		tops:     make(map[int64]*trendIndex),
+		bound:    bound,
+		maxPreds: maxPreds,
+		floor:    math.MinInt64,
+	}
+}
+
+// observe applies one report to the shard. The caller holds the lock. The
+// floor re-check closes the registry-to-shard-lock race: a period the
+// registry called retained may have been pruned by a concurrent Observe
+// before this shard lock was taken, and recording into it would resurrect
+// state that retention can never free again.
+func (sh *streamShard) observe(alpha float64, period int64, key tagset.Key, c jaccard.Coefficient) (ev Event, scored, outOfOrder, late bool) {
+	if period <= sh.floor {
+		return Event{}, false, false, true
+	}
+	p := sh.preds[key]
+	switch {
+	case p == nil:
+		// First sighting: establish the predictor, no event.
+		sh.preds[key] = &streamPredictor{exp: c.J, period: period, seen: 1}
+		sh.evictPredictors()
+		return Event{}, false, false, false
+	case period > p.period:
+		p.base = p.exp
+		p.period = period
+		p.seen++
+	case period == p.period:
+		if p.seen == 1 {
+			// Upgrade within the establishment period: replace the first
+			// observation, still no event.
+			p.exp = c.J
+			return Event{}, false, false, false
+		}
+		// Correction: re-score the period against the same base.
+	default:
+		// Older than the predictor's period: the EWMA has already moved
+		// past it; dropped and counted.
+		return Event{}, false, true, false
+	}
+	score := c.J - p.base
+	rising := score > 0
+	if score < 0 {
+		score = -score
+	}
+	p.exp = alpha*c.J + (1-alpha)*p.base
+	ev = Event{
+		Tags:      c.Tags,
+		Period:    period,
+		Predicted: p.base,
+		Observed:  c.J,
+		Score:     score,
+		Rising:    rising,
+		CN:        c.CN,
+	}
+	sh.record(period, key, ev)
+	return ev, true, false, false
+}
+
+// record stores ev in the period's event table and maintains the period
+// heap: fresh events are offered; corrected events are fixed in place, with
+// a rebuild when a demotion may have wrongly kept an excluded event out.
+func (sh *streamShard) record(period int64, key tagset.Key, ev Event) {
+	m := sh.events[period]
+	if m == nil {
+		m = make(map[tagset.Key]Event)
+		sh.events[period] = m
+	}
+	prev, existed := m[key]
+	m[key] = ev
+	h := sh.tops[period]
+	if h == nil {
+		h = &trendIndex{pos: make(map[tagset.Key]int)}
+		sh.tops[period] = h
+	}
+	e := trendEntry{key: key, ev: ev}
+	if existed {
+		if i, ok := h.pos[key]; ok {
+			h.entries[i].ev = ev
+			heap.Fix(h, i)
+			if len(m) > h.Len() && trendBefore(trendEntry{key: key, ev: prev}, e) {
+				sh.rebuildPeriod(period)
+			}
+			return
+		}
+	}
+	sh.offer(h, e)
+}
+
+// offer inserts a fresh entry if it belongs to the period's best bound.
+func (sh *streamShard) offer(h *trendIndex, e trendEntry) {
+	if h.Len() < sh.bound {
+		heap.Push(h, e)
+		return
+	}
+	if trendBefore(e, h.entries[0]) {
+		delete(h.pos, h.entries[0].key)
+		h.entries[0] = e
+		h.pos[e.key] = 0
+		heap.Fix(h, 0)
+	}
+}
+
+// rebuildPeriod reconstructs one period's heap from its event table — a
+// bounded-heap selection, run only on downward corrections while events are
+// excluded, never on reads.
+func (sh *streamShard) rebuildPeriod(period int64) {
+	h := &trendIndex{pos: make(map[tagset.Key]int, sh.bound)}
+	for k, ev := range sh.events[period] {
+		sh.offer(h, trendEntry{key: k, ev: ev})
+	}
+	sh.tops[period] = h
+	sh.rebuilds++
+}
+
+// evictPeriod drops one period's trend state and advances the shard floor
+// so late observations for it cannot resurrect the maps. Predictors
+// persist: they are the smoothed expectation, not per-period state. The
+// caller holds the lock.
+func (sh *streamShard) evictPeriod(p int64) {
+	if p > sh.floor {
+		sh.floor = p
+	}
+	delete(sh.events, p)
+	delete(sh.tops, p)
+}
+
+// evictPredictors enforces the predictor cap, dropping the stalest eighth
+// in one pass so the scan amortizes instead of firing per insert.
+func (sh *streamShard) evictPredictors() {
+	if sh.maxPreds <= 0 || len(sh.preds) <= sh.maxPreds {
+		return
+	}
+	type entry struct {
+		k    tagset.Key
+		last int64
+	}
+	all := make([]entry, 0, len(sh.preds))
+	for k, p := range sh.preds {
+		all = append(all, entry{k, p.period})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].last < all[j].last })
+	drop := len(sh.preds) - sh.maxPreds + sh.maxPreds/8
+	if drop > len(all) {
+		drop = len(all)
+	}
+	for _, e := range all[:drop] {
+		delete(sh.preds, e.k)
+	}
+}
