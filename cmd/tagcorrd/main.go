@@ -59,6 +59,8 @@ func main() {
 		shards  = flag.Int("tracker-shards", 0, "Tracker lock shards (0: default 16)")
 		evicted = flag.Int("evicted-pairs", 4096, "LRU capacity for coefficients pruned by -keep-periods (0: off)")
 		pending = flag.Int("spout-pending", 0, "spout throttle: max tuples in flight (0: default 4096)")
+		trTasks = flag.Int("tracker-tasks", 4, "Tracker task parallelism, fields-grouped on tagset hash (0: 1 task)")
+		nBatch  = flag.Int("notify-batch", 64, "documents per Disseminator→Calculator notification batch (0: per-document tuples)")
 
 		trendOn    = flag.Bool("trend", true, "enable the streaming trend detector (/trends, /events)")
 		trendAlpha = flag.Float64("trend-alpha", 0.4, "trend predictor smoothing factor")
@@ -81,6 +83,10 @@ func main() {
 	cfg.TrackerShards = *shards
 	cfg.EvictedPairs = *evicted
 	cfg.SpoutPending = *pending
+	// Hot-path fan-out: several Tracker tasks share the one sharded
+	// Tracker, and Disseminator→Calculator traffic ships in batches.
+	cfg.TrackerTasks = *trTasks
+	cfg.NotifyBatch = *nBatch
 	cfg.Trend = *trendOn
 	cfg.TrendAlpha = *trendAlpha
 	cfg.TrendTopK = *trendTopK

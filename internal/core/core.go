@@ -141,14 +141,26 @@ func NewPipeline(cfg Config, src DocumentSource) (*Pipeline, error) {
 		return c
 	}, cfg.K).Direct("disseminator")
 
+	// All Tracker tasks share the one thread-safe Tracker instance (shard
+	// locks, atomics, period registry — the same pattern Trend uses with
+	// the shared trend.Stream), wired fields-grouped on the tagset-key hash
+	// so per-tagset arrival order is preserved for CN-upgrade dedup and
+	// StreamTrend emission. Calculators split each period flush into
+	// per-task sub-batches with the same hash (CoeffBatch.Route).
+	trackerTasks := cfg.TrackerTasks
+	if trackerTasks == 0 {
+		trackerTasks = 1
+	}
 	b.Bolt("tracker", func() storm.Bolt {
-		p.tracker = operators.NewTrackerWith(cfg.TrackerShards, cfg.TrackerTopK, cfg.EvictedPairs)
-		p.tracker.SetRetention(cfg.KeepPeriods)
-		if cfg.Trend {
-			p.tracker.EnableTrendEmit()
+		if p.tracker == nil {
+			p.tracker = operators.NewTrackerWith(cfg.TrackerShards, cfg.TrackerTopK, cfg.EvictedPairs)
+			p.tracker.SetRetention(cfg.KeepPeriods)
+			if cfg.Trend {
+				p.tracker.EnableTrendEmit()
+			}
 		}
 		return p.tracker
-	}, 1).Shuffle("calculator")
+	}, trackerTasks).Fields("calculator", operators.CoeffKey)
 
 	if cfg.Trend {
 		det, err := trend.NewStream(cfg.TrendStreamConfig())
@@ -236,6 +248,12 @@ func (p *Pipeline) collect(st *storm.Stats) *Result {
 		Tracker:      p.tracker,
 		Storm:        st,
 	}
+	// Aggregate the notification quantities across every Disseminator
+	// instance before deriving the headline metrics: with
+	// Config.Disseminators > 1 each instance routes a fraction of the
+	// traffic, and Communication/LoadGini computed from one instance alone
+	// would silently cover only that fraction.
+	var agg operators.DissemStats
 	for _, d := range p.disseminators {
 		s := &d.Stats
 		r.Repartitions += s.Repartitions
@@ -246,12 +264,23 @@ func (p *Pipeline) collect(st *storm.Stats) *Result {
 		r.UncoveredDocs += s.UncoveredDocs
 		r.DocsProcessed += s.Docs
 		r.DocsBeforeInstall += s.BeforePartition
+		agg.Notifications += s.Notifications
+		agg.NotifiedDocs += s.NotifiedDocs
+		if len(s.PerCalculator) > len(agg.PerCalculator) {
+			grown := make([]int64, len(s.PerCalculator))
+			copy(grown, agg.PerCalculator)
+			agg.PerCalculator = grown
+		}
+		for i, n := range s.PerCalculator {
+			agg.PerCalculator[i] += n
+		}
 	}
-	// With one Disseminator (the paper's configuration) these are exact;
-	// with several they are the first instance's view.
+	// Dissem still exposes the first instance's full statistics (the figure
+	// time series are per-instance); the scalar metrics above are exact
+	// across instances.
 	r.Dissem = &p.disseminators[0].Stats
-	r.Communication = r.Dissem.Communication()
-	r.LoadGini = r.Dissem.LoadGini()
+	r.Communication = agg.Communication()
+	r.LoadGini = agg.LoadGini()
 	return r
 }
 

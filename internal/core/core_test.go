@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/jaccard"
+	"repro/internal/metrics"
 	"repro/internal/partition"
 	"repro/internal/stream"
 	"repro/internal/tagset"
@@ -288,6 +289,137 @@ func TestPipelineMultipleDisseminators(t *testing.T) {
 	}
 	if res.DocsProcessed != 30000 {
 		t.Errorf("docs processed = %d", res.DocsProcessed)
+	}
+}
+
+// TestPipelineFanoutSequentialExact: the sequential executor is a
+// deterministic FIFO, and the hot-path fan-out knobs change only tuple
+// packaging and Tracker task routing — never the per-Calculator
+// notification order or the per-tagset report order — so the full pipeline
+// (repartitions, Single Additions and all) must produce identical results
+// under every TrackerTasks/NotifyBatch combination.
+func TestPipelineFanoutSequentialExact(t *testing.T) {
+	docs, _ := shortStream(t, 20000, 13)
+	run := func(tasks, batch int) *Result {
+		cfg := fastConfig(partition.DS)
+		cfg.Trend = true
+		cfg.TrendMinSupport = 1
+		cfg.TrackerTasks = tasks
+		cfg.NotifyBatch = batch
+		pipe, err := NewPipeline(cfg, SliceSource(docs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pipe.Run()
+	}
+	base := run(1, 0)
+	if len(base.Coefficients) == 0 {
+		t.Fatal("baseline run reported no coefficients")
+	}
+	for _, v := range []struct{ tasks, batch int }{{4, 0}, {1, 64}, {4, 64}} {
+		res := run(v.tasks, v.batch)
+		if len(res.Coefficients) != len(base.Coefficients) {
+			t.Fatalf("tasks=%d batch=%d: %d coefficients, baseline %d",
+				v.tasks, v.batch, len(res.Coefficients), len(base.Coefficients))
+		}
+		for i := range base.Coefficients {
+			a, b := res.Coefficients[i], base.Coefficients[i]
+			if a.J != b.J || a.CN != b.CN || a.Tags.Key() != b.Tags.Key() {
+				t.Fatalf("tasks=%d batch=%d: coefficient %d = %+v, baseline %+v",
+					v.tasks, v.batch, i, a, b)
+			}
+		}
+		if res.Communication != base.Communication || res.LoadGini != base.LoadGini {
+			t.Errorf("tasks=%d batch=%d: metrics %g/%g, baseline %g/%g",
+				v.tasks, v.batch, res.Communication, res.LoadGini,
+				base.Communication, base.LoadGini)
+		}
+		if res.Repartitions != base.Repartitions || res.SingleAdditions != base.SingleAdditions {
+			t.Errorf("tasks=%d batch=%d: dynamics %d/%d, baseline %d/%d",
+				v.tasks, v.batch, res.Repartitions, res.SingleAdditions,
+				base.Repartitions, base.SingleAdditions)
+		}
+	}
+}
+
+// TestPipelineConcurrentFanout: the concurrent executor with both fan-out
+// knobs up must still process the full stream and feed Tracker and trend
+// detector.
+func TestPipelineConcurrentFanout(t *testing.T) {
+	docs, _ := shortStream(t, 20000, 5)
+	cfg := fastConfig(partition.DS)
+	cfg.Trend = true
+	cfg.TrendMinSupport = 1
+	cfg.TrackerTasks = 4
+	cfg.NotifyBatch = 64
+	pipe, err := NewPipeline(cfg, SliceSource(docs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := pipe.RunConcurrent()
+	if res.DocsProcessed != 20000 {
+		t.Errorf("docs processed = %d", res.DocsProcessed)
+	}
+	if len(res.Coefficients) == 0 {
+		t.Fatal("no coefficients with fan-out enabled")
+	}
+	if received, _ := res.Tracker.Counts(); received == 0 {
+		t.Error("tracker received no reports")
+	}
+	if res.Storm.Received("tracker") == 0 {
+		t.Error("tracker component received no tuples")
+	}
+	if pipe.Trends().Tracked() == 0 {
+		t.Error("trend detector tracked no predictors")
+	}
+	snap := pipe.Snapshot(10)
+	if snap.TrackerTasks != 4 || snap.NotifyBatch != 64 {
+		t.Errorf("snapshot knobs = %d/%d, want 4/64", snap.TrackerTasks, snap.NotifyBatch)
+	}
+}
+
+// TestPipelineMultiDisseminatorAggregatedMetrics: with several Disseminator
+// instances the headline Communication/LoadGini must cover all of them, not
+// just the first (the pre-fix behavior silently reported a fraction of the
+// traffic).
+func TestPipelineMultiDisseminatorAggregatedMetrics(t *testing.T) {
+	docs, _ := shortStream(t, 30000, 21)
+	cfg := fastConfig(partition.DS)
+	cfg.Disseminators = 2
+	cfg.Parsers = 2
+	pipe, err := NewPipeline(cfg, SliceSource(docs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := pipe.Run()
+
+	var notifications, notified int64
+	per := make([]int64, cfg.K)
+	for _, d := range pipe.Disseminators() {
+		notifications += d.Stats.Notifications
+		notified += d.Stats.NotifiedDocs
+		for i, n := range d.Stats.PerCalculator {
+			per[i] += n
+		}
+	}
+	if notified == 0 {
+		t.Fatal("no notified documents with two disseminators")
+	}
+	wantComm := float64(notifications) / float64(notified)
+	if res.Communication != wantComm {
+		t.Errorf("Communication = %g, want %g aggregated over both instances",
+			res.Communication, wantComm)
+	}
+	if wantGini := metrics.GiniInts(per); res.LoadGini != wantGini {
+		t.Errorf("LoadGini = %g, want %g aggregated over both instances",
+			res.LoadGini, wantGini)
+	}
+	// Each instance routed only part of the stream, so the aggregate must
+	// count strictly more notifications than either instance alone.
+	for i, d := range pipe.Disseminators() {
+		if d.Stats.Notifications >= notifications {
+			t.Errorf("instance %d carries the whole notification count", i)
+		}
 	}
 }
 

@@ -72,6 +72,12 @@ type Snapshot struct {
 	// evicted-coefficient LRU.
 	Tracker operators.TrackerStats
 
+	// TrackerTasks and NotifyBatch echo the pipeline's hot-path fan-out
+	// configuration: the Tracker operator's parallelism (>= 1) and the
+	// Disseminator→Calculator notification batch size (0: per-document).
+	TrackerTasks int
+	NotifyBatch  int
+
 	// Trends is the streaming trend detector's live view (nil unless
 	// Config.Trend is set): the top deviations of the newest scored period
 	// plus the detector's structural counters.
@@ -95,10 +101,15 @@ type Snapshot struct {
 // paper's single-Disseminator configuration they are exact).
 func (p *Pipeline) Snapshot(k int) *Snapshot {
 	s := &Snapshot{
-		TopK:    p.tracker.TopK(k),
-		Periods: p.tracker.Periods(),
-		Merges:  p.merger.MergeCount(),
-		Tracker: p.tracker.StatsSnapshot(),
+		TopK:         p.tracker.TopK(k),
+		Periods:      p.tracker.Periods(),
+		Merges:       p.merger.MergeCount(),
+		Tracker:      p.tracker.StatsSnapshot(),
+		TrackerTasks: p.cfg.TrackerTasks,
+		NotifyBatch:  p.cfg.NotifyBatch,
+	}
+	if s.TrackerTasks == 0 {
+		s.TrackerTasks = 1
 	}
 	s.CoefficientsReceived, s.CoefficientsDuplicate = p.tracker.Counts()
 	s.Partitions = p.merger.PartitionsSnapshot()

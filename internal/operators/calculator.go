@@ -14,7 +14,10 @@ import (
 // Calculators are oblivious to the partitions: they infer the tagsets to
 // track purely from the notifications (Section 6.2). Reporting boundaries
 // are aligned to multiples of ReportEvery so that all Calculators report
-// the same periods and the Tracker can deduplicate.
+// the same periods and the Tracker can deduplicate. Notifications arrive
+// either one per tuple (NotifyMsg) or batched (NotifyBatch, when the
+// Disseminator runs with Config.NotifyBatch > 0); both feed the same
+// counter table in arrival order.
 type Calculator struct {
 	cfg   Config
 	ctx   *storm.TaskContext
@@ -22,6 +25,12 @@ type Calculator struct {
 
 	boundary stream.Millis // exclusive end of the current period
 	hasData  bool
+
+	// trackerTasks is the Tracker's parallelism, read from the topology at
+	// Prepare: flushes split their coefficients into one sub-batch per
+	// task, grouped by the shared routeHash, so fields grouping (CoeffKey)
+	// keeps every tagset on one Tracker task. 1 outside a topology.
+	trackerTasks int
 
 	// Reports counts emitted reporting rounds; Observed counts received
 	// notifications.
@@ -35,18 +44,38 @@ func NewCalculator(cfg Config) *Calculator {
 }
 
 // Prepare implements storm.Bolt.
-func (c *Calculator) Prepare(ctx *storm.TaskContext) { c.ctx = ctx }
+func (c *Calculator) Prepare(ctx *storm.TaskContext) {
+	c.ctx = ctx
+	c.trackerTasks = len(ctx.TasksOf("tracker"))
+	if c.trackerTasks < 1 {
+		c.trackerTasks = 1
+	}
+}
 
 // Execute implements storm.Bolt.
 func (c *Calculator) Execute(t storm.Tuple, out storm.Collector) {
-	msg := t.Values[0].(NotifyMsg)
+	switch msg := t.Values[0].(type) {
+	case NotifyMsg:
+		c.observe(msg, out)
+	case NotifyBatch:
+		for _, m := range msg.Msgs {
+			c.observe(m, out)
+		}
+	}
+}
+
+func (c *Calculator) observe(msg NotifyMsg, out storm.Collector) {
 	if !c.hasData {
 		c.boundary = alignUp(msg.Time, c.cfg.ReportEvery)
 		c.hasData = true
 	}
-	for msg.Time >= c.boundary {
+	if msg.Time >= c.boundary {
+		// Flush the finished (non-empty) period, then jump straight to the
+		// period containing msg.Time: a sparse live stream or a replay with
+		// a large timestamp gap must not pay one no-op flush per empty
+		// period in between.
 		c.flush(out)
-		c.boundary += c.cfg.ReportEvery
+		c.boundary = alignUp(msg.Time, c.cfg.ReportEvery)
 	}
 	c.table.Observe(msg.Tags)
 	c.Observed++
@@ -59,17 +88,36 @@ func (c *Calculator) Cleanup(out storm.Collector) {
 	}
 }
 
-// flush reports the finished period as a single CoeffBatch tuple: one
-// emission and one Tracker mailbox delivery per flush, however many
-// coefficients the period produced, keeping the hot path's dataflow
-// counters and mailbox pressure proportional to periods rather than pairs.
+// flush reports the finished period as CoeffBatch tuples: with a single
+// Tracker task, one emission and one mailbox delivery per flush, however
+// many coefficients the period produced; with Tracker parallelism > 1, one
+// sub-batch per involved Tracker task, each carrying the coefficients whose
+// tagset-key hash routes to it (CoeffKey reads the Route field). Either
+// way the hot path's dataflow counters and mailbox pressure stay
+// proportional to periods rather than pairs.
 func (c *Calculator) flush(out storm.Collector) {
 	coeffs := c.table.Coefficients(1)
 	period := int64(c.boundary / c.cfg.ReportEvery)
-	if len(coeffs) > 0 {
+	switch {
+	case len(coeffs) == 0:
+	case c.trackerTasks <= 1:
 		out.Emit(storm.Tuple{Stream: StreamCoeff, Values: []interface{}{
 			CoeffBatch{Period: period, Coeffs: coeffs},
 		}})
+	default:
+		parts := make([][]jaccard.Coefficient, c.trackerTasks)
+		for _, co := range coeffs {
+			g := routeHash(co.Tags.Key()) % uint64(c.trackerTasks)
+			parts[g] = append(parts[g], co)
+		}
+		for g, part := range parts {
+			if len(part) == 0 {
+				continue
+			}
+			out.Emit(storm.Tuple{Stream: StreamCoeff, Values: []interface{}{
+				CoeffBatch{Period: period, Route: uint64(g), Coeffs: part},
+			}})
+		}
 	}
 	if len(coeffs) > 0 || c.table.Docs() > 0 {
 		c.Reports++

@@ -111,6 +111,15 @@ type Disseminator struct {
 	uncovered  map[tagset.Key]int
 	pendingAdd map[tagset.Key]bool
 
+	// notifyBuf buffers per-Calculator notifications when cfg.NotifyBatch
+	// > 0 (nil otherwise): instead of one mailbox delivery per (document ×
+	// involved Calculator), buffered notifications ship as one NotifyBatch
+	// tuple per Calculator every NotifyBatch documents, plus on partition
+	// install and Cleanup. bufDocs counts notified documents since the last
+	// flush. Per-Calculator notification order is preserved.
+	notifyBuf [][]NotifyMsg
+	bufDocs   int
+
 	// scratch buffers reused across documents.
 	calcSeen map[int]int
 
@@ -162,6 +171,9 @@ func (d *Disseminator) Prepare(ctx *storm.TaskContext) {
 	d.calcTasks = ctx.TasksOf("calculator")
 	d.batchCalc = make([]int64, len(d.calcTasks))
 	d.Stats.PerCalculator = make([]int64, len(d.calcTasks))
+	if d.cfg.NotifyBatch > 0 {
+		d.notifyBuf = make([][]NotifyMsg, len(d.calcTasks))
+	}
 }
 
 // Execute implements storm.Bolt.
@@ -172,15 +184,47 @@ func (d *Disseminator) Execute(t storm.Tuple, out storm.Collector) {
 	case StreamDoc:
 		d.onDoc(t.Values[0].(DocMsg), out)
 	case StreamPartitions:
-		d.install(t.Values[0].(PartitionsMsg))
+		d.install(t.Values[0].(PartitionsMsg), out)
 	case StreamAdditionRes:
 		d.onAdditionResult(t.Values[0].(AdditionRes))
 	}
 }
 
+// Cleanup flushes the buffered notifications so the Calculators see every
+// routed document before their own final-period flush (the Disseminator is
+// declared before the Calculators, and the executors drain each component's
+// Cleanup emissions before moving on).
+func (d *Disseminator) Cleanup(out storm.Collector) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.flushNotify(out)
+}
+
+// flushNotify ships each Calculator's buffered notifications as one
+// NotifyBatch tuple. Buffers are handed to the tuples (not reused): the
+// consumer reads them from its mailbox concurrently.
+func (d *Disseminator) flushNotify(out storm.Collector) {
+	if d.notifyBuf == nil {
+		return
+	}
+	for c, msgs := range d.notifyBuf {
+		if len(msgs) == 0 {
+			continue
+		}
+		out.EmitDirect(d.calcTasks[c], storm.Tuple{Stream: StreamNotify, Values: []interface{}{
+			NotifyBatch{Msgs: msgs},
+		}})
+		d.notifyBuf[c] = nil
+	}
+	d.bufDocs = 0
+}
+
 // install rebuilds the inverted index from freshly merged partitions and
-// adopts the Merger's reference quality values.
-func (d *Disseminator) install(msg PartitionsMsg) {
+// adopts the Merger's reference quality values. Buffered notifications are
+// flushed first, so everything routed under the outgoing index is delivered
+// before the new epoch's traffic.
+func (d *Disseminator) install(msg PartitionsMsg, out storm.Collector) {
+	d.flushNotify(out)
 	d.index = make(map[tagset.Tag][]int, len(d.index))
 	for i, p := range msg.Parts {
 		for _, tg := range p.Tags {
@@ -256,9 +300,13 @@ func (d *Disseminator) onDoc(msg DocMsg, out storm.Collector) {
 		} else {
 			covered = true
 		}
-		out.EmitDirect(d.calcTasks[c], storm.Tuple{Stream: StreamNotify, Values: []interface{}{
-			NotifyMsg{Time: msg.Time, Tags: sub},
-		}})
+		if d.notifyBuf != nil {
+			d.notifyBuf[c] = append(d.notifyBuf[c], NotifyMsg{Time: msg.Time, Tags: sub})
+		} else {
+			out.EmitDirect(d.calcTasks[c], storm.Tuple{Stream: StreamNotify, Values: []interface{}{
+				NotifyMsg{Time: msg.Time, Tags: sub},
+			}})
+		}
 		d.Stats.Notifications++
 		d.batchMsgs++
 		d.batchCalc[c]++
@@ -267,6 +315,11 @@ func (d *Disseminator) onDoc(msg DocMsg, out storm.Collector) {
 	if len(d.calcSeen) > 0 {
 		d.Stats.NotifiedDocs++
 		d.batchDocs++
+		if d.notifyBuf != nil {
+			if d.bufDocs++; d.bufDocs >= d.cfg.NotifyBatch {
+				d.flushNotify(out)
+			}
+		}
 	}
 
 	if !covered {

@@ -83,6 +83,17 @@ type NotifyMsg struct {
 	Tags tagset.Set
 }
 
+// NotifyBatch carries several notifications to one Calculator in a single
+// mailbox delivery. With Config.NotifyBatch > 0 the Disseminator buffers
+// per-Calculator notifications and ships one NotifyBatch every NotifyBatch
+// documents (plus on partition install and Cleanup), so Disseminator→
+// Calculator mailbox traffic scales with batches instead of documents. The
+// Calculator accepts both forms; per-Calculator notification order is
+// preserved.
+type NotifyBatch struct {
+	Msgs []NotifyMsg
+}
+
 // CoeffMsg is a reported Jaccard coefficient with its reporting period.
 // The pipeline's hot path ships CoeffBatch tuples; the Tracker accepts the
 // single-coefficient form too (tests and ad-hoc feeds).
@@ -91,11 +102,16 @@ type CoeffMsg struct {
 	Coeff  jaccard.Coefficient
 }
 
-// CoeffBatch is one Calculator's full report for one period: a single tuple
-// carrying the whole coefficient slice, so a flush of n coefficients costs
-// one emission and one Tracker mailbox delivery instead of n.
+// CoeffBatch is one Calculator's report for one period: a single tuple
+// carrying a coefficient slice, so a flush of n coefficients costs one
+// emission and one Tracker mailbox delivery instead of n. With Tracker
+// parallelism > 1 a period flush is split into per-Tracker-task sub-batches
+// (every coefficient routed by its tagset-key hash), and Route carries the
+// destination task index so CoeffKey fields grouping delivers each
+// sub-batch to the task owning its tagsets.
 type CoeffBatch struct {
 	Period int64
+	Route  uint64
 	Coeffs []jaccard.Coefficient
 }
 
@@ -171,6 +187,23 @@ type Config struct {
 	// maximum number of unprocessed tuples in flight before spouts block).
 	// 0 — the default — uses the substrate's built-in 4096.
 	SpoutPending int
+
+	// TrackerTasks is the Tracker operator's parallelism (0: default 1).
+	// All tasks share the one thread-safe Tracker instance (its shard
+	// locks, atomics and period registry already support concurrent
+	// reporters); tuples are fields-grouped on the tagset-key hash
+	// (CoeffKey), so every report of one tagset passes through the same
+	// task and per-tagset arrival order — what CN-upgrade dedup and
+	// StreamTrend emission rely on — is preserved. Calculators split each
+	// period flush into per-task sub-batches with the same hash.
+	TrackerTasks int
+
+	// NotifyBatch batches the Disseminator→Calculator notification stream:
+	// when > 0 the Disseminator buffers per-Calculator notifications and
+	// flushes them as one NotifyBatch tuple every NotifyBatch documents
+	// (plus on partition install and Cleanup). 0 — the batch default —
+	// ships one tuple per (document × involved Calculator).
+	NotifyBatch int
 
 	// Trend enables the streaming trend-detection subsystem: the Tracker
 	// emits every accepted coefficient report to a Trend operator
@@ -263,6 +296,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("operators: evictedPairs = %d", c.EvictedPairs)
 	case c.SpoutPending < 0:
 		return fmt.Errorf("operators: spoutPending = %d", c.SpoutPending)
+	case c.TrackerTasks < 0:
+		return fmt.Errorf("operators: trackerTasks = %d", c.TrackerTasks)
+	case c.NotifyBatch < 0:
+		return fmt.Errorf("operators: notifyBatch = %d", c.NotifyBatch)
 	case c.TrendAlpha < 0 || c.TrendAlpha > 1:
 		return fmt.Errorf("operators: trendAlpha = %g", c.TrendAlpha)
 	case c.TrendMinSupport < 0:
@@ -307,6 +344,34 @@ func TagsetKey(t storm.Tuple) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(msg.Tags.Key()))
 	return h.Sum64()
+}
+
+// CoeffKey routes Calculator→Tracker tuples for fields grouping with
+// Tracker parallelism > 1. CoeffBatch tuples carry their destination task
+// index in Route (the Calculator already grouped the coefficients by
+// routeHash % tasks, so Route % tasks == Route); single-coefficient
+// CoeffMsg tuples hash their tagset key directly with the same hash, which
+// lands on the same task as any batch carrying that tagset.
+func CoeffKey(t storm.Tuple) uint64 {
+	switch msg := t.Values[0].(type) {
+	case CoeffBatch:
+		return msg.Route
+	case CoeffMsg:
+		return routeHash(msg.Coeff.Tags.Key())
+	}
+	return 0
+}
+
+// routeHash is the FNV-1a tagset-key hash shared by the Tracker's shard
+// routing and the Calculator's per-Tracker-task sub-batch grouping, so one
+// tagset always maps to one Tracker task and one shard.
+func routeHash(k tagset.Key) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(k); i++ {
+		h ^= uint64(k[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // Source adapts any document iterator (generator, slice, JSONL reader) to a

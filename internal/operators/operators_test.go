@@ -58,6 +58,8 @@ func TestConfigValidate(t *testing.T) {
 		func(c *Config) { c.TrackerShards = -1 },
 		func(c *Config) { c.TrackerTopK = -1 },
 		func(c *Config) { c.EvictedPairs = -1 },
+		func(c *Config) { c.TrackerTasks = -1 },
+		func(c *Config) { c.NotifyBatch = -1 },
 	}
 	for i, m := range mutations {
 		cfg := DefaultConfig()
@@ -332,6 +334,9 @@ func buildDissem(cfg Config) (*Disseminator, *collector) {
 	}
 	d.batchCalc = make([]int64, cfg.K)
 	d.Stats.PerCalculator = make([]int64, cfg.K)
+	if cfg.NotifyBatch > 0 {
+		d.notifyBuf = make([][]NotifyMsg, cfg.K)
+	}
 	return d, newCollector()
 }
 

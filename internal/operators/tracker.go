@@ -242,14 +242,10 @@ func (tr *Tracker) prunePeriod(p int64) {
 	}
 }
 
-// shardOf routes a tagset key to its shard (FNV-1a over the key bytes).
+// shardOf routes a tagset key to its shard (routeHash: FNV-1a over the key
+// bytes, the same hash the Calculators group sub-batches with).
 func (tr *Tracker) shardOf(k tagset.Key) *trackerShard {
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(k); i++ {
-		h ^= uint64(k[i])
-		h *= 1099511628211
-	}
-	return tr.shards[h&tr.mask]
+	return tr.shards[routeHash(k)&tr.mask]
 }
 
 // Periods returns the retained reporting period ids in ascending order.

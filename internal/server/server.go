@@ -504,6 +504,12 @@ type StatsResponse struct {
 	CoefficientsReceived  int64   `json:"coefficients_received"`
 	CoefficientsDuplicate int64   `json:"coefficients_duplicate"`
 
+	// TrackerTasks and NotifyBatch are the hot-path fan-out knobs: Tracker
+	// operator parallelism and the Disseminator→Calculator notification
+	// batch size (0: one tuple per document × Calculator).
+	TrackerTasks int `json:"tracker_tasks"`
+	NotifyBatch  int `json:"notify_batch"`
+
 	Tracker TrackerStats `json:"tracker"`
 	Trends  *TrendStats  `json:"trends,omitempty"`
 
@@ -590,6 +596,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Periods:               snap.Periods,
 		CoefficientsReceived:  snap.CoefficientsReceived,
 		CoefficientsDuplicate: snap.CoefficientsDuplicate,
+
+		TrackerTasks: snap.TrackerTasks,
+		NotifyBatch:  snap.NotifyBatch,
 
 		Tracker: TrackerStats{
 			Shards:          snap.Tracker.Shards,

@@ -128,11 +128,16 @@ func (ex *seqExecutor) drain() {
 }
 
 // mailbox is an unbounded FIFO with blocking receive, so topology cycles
-// cannot deadlock on bounded channels.
+// cannot deadlock on bounded channels. Consumed slots are zeroed as they are
+// read and the slice restarts from the front whenever it drains (dropping
+// oversized backing arrays, mirroring seqExecutor.drain), so a long-running
+// service's mailboxes never keep envelope payloads — tagset slices,
+// coefficient batches — reachable after processing.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	items  []envelope
+	head   int // next slot to read; items[:head] are consumed and zeroed
 	closed bool
 }
 
@@ -152,14 +157,36 @@ func (m *mailbox) put(e envelope) {
 func (m *mailbox) get() (envelope, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for len(m.items) == 0 && !m.closed {
+	for m.head == len(m.items) && !m.closed {
 		m.cond.Wait()
 	}
-	if len(m.items) == 0 {
+	if m.head == len(m.items) {
 		return envelope{}, false
 	}
-	e := m.items[0]
-	m.items = m.items[1:]
+	e := m.items[m.head]
+	m.items[m.head] = envelope{}
+	m.head++
+	switch {
+	case m.head == len(m.items):
+		if cap(m.items) > 4096 {
+			m.items = nil
+		} else {
+			m.items = m.items[:0]
+		}
+		m.head = 0
+	case m.head >= 1024 && m.head*2 >= len(m.items):
+		// Steady backlog: the queue never momentarily drains, so the dead
+		// prefix would otherwise grow (and be copied by every append
+		// realloc) forever. Slide the live window to the front once the
+		// prefix dominates — amortized O(1) per tuple — and zero the
+		// vacated tail so the moved-from slots don't pin payloads.
+		n := copy(m.items, m.items[m.head:])
+		for i := n; i < len(m.items); i++ {
+			m.items[i] = envelope{}
+		}
+		m.items = m.items[:n]
+		m.head = 0
+	}
 	return e, true
 }
 

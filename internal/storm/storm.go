@@ -76,8 +76,12 @@ type TaskContext struct {
 }
 
 // TasksOf returns the task ids of the named component, in instance order.
-// It returns nil for unknown components.
+// It returns nil for unknown components, and for contexts built without a
+// topology (unit tests driving a bolt directly).
 func (c *TaskContext) TasksOf(component string) []TaskID {
+	if c.topo == nil {
+		return nil
+	}
 	n := c.topo.components[component]
 	if n == nil {
 		return nil
