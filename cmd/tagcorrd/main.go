@@ -14,11 +14,22 @@
 //	curl localhost:8080/partition
 //	curl localhost:8080/stats
 //	curl localhost:8080/healthz
+//	curl localhost:8080/history/periods
+//	curl 'localhost:8080/history/topk?period=3&k=10'
+//	curl localhost:8080/history/pairs/tag-42-1/tag-42-7
 //
-// On SIGINT/SIGTERM the daemon drains gracefully: the source stops, the
-// in-flight tuples flush, a final snapshot is taken (so the cache serves
-// the exact end-of-run state), the run summary is printed, and the HTTP
-// server shuts down.
+// With -archive-dir the daemon is durable: accepted coefficient reports
+// and trend deviations stream into per-period segment files, checkpoints
+// are written every -checkpoint-every reporting periods, the /history
+// endpoints answer for periods arbitrarily far past -keep-periods, and a
+// restart (even after SIGKILL) recovers from the newest valid checkpoint
+// and resumes the source from the recorded cursor, logging a recovery
+// summary.
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: a checkpoint is written
+// (so even a killed drain stays recoverable), the source stops, the
+// in-flight tuples flush, a final snapshot and end-of-run checkpoint are
+// taken, the run summary is printed, and the HTTP server shuts down.
 package main
 
 import (
@@ -34,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/archive"
 	"repro/internal/core"
 	"repro/internal/partition"
 	"repro/internal/server"
@@ -50,6 +62,8 @@ func main() {
 		k       = flag.Int("k", 10, "number of partitions / Calculators")
 		p       = flag.Int("p", 10, "number of Partitioners")
 		thr     = flag.Float64("thr", 0.5, "repartition threshold")
+		repEv   = flag.Duration("report-every", 5*time.Minute, "Calculator reporting period, in virtual stream time")
+		winSpan = flag.Duration("window-span", 5*time.Minute, "Partitioner window span, in virtual stream time")
 		minutes = flag.Float64("minutes", 0, "generated stream length in virtual minutes (0: unbounded)")
 		seed    = flag.Int64("seed", 1, "generator seed")
 		rate    = flag.Float64("rate", 0, "documents per wall-clock second (0: full speed)")
@@ -67,6 +81,9 @@ func main() {
 		trendTopK  = flag.Int("trend-topk", 50, "maintained top-trends heap bound per period")
 		trendMinCN = flag.Int64("trend-min-support", 5, "minimum intersection counter for trend scoring")
 		trendThr   = flag.Float64("trend-threshold", 0.1, "minimum score pushed on the /events feed")
+
+		archiveDir = flag.String("archive-dir", "", "durability directory: per-period segments + checkpoints; serves /history and enables crash recovery (empty: off)")
+		ckptEvery  = flag.Int("checkpoint-every", 1, "write a checkpoint every N reporting periods (with -archive-dir)")
 	)
 	flag.Parse()
 
@@ -75,6 +92,8 @@ func main() {
 	cfg.K = *k
 	cfg.P = *p
 	cfg.Thr = *thr
+	cfg.ReportEvery = stream.Millis(repEv.Milliseconds())
+	cfg.WindowSpan = stream.Millis(winSpan.Milliseconds())
 	// A daemon runs indefinitely: bound the Tracker's memory and skip the
 	// batch-oriented figure time series. The evicted-pair LRU keeps point
 	// lookups answerable across the retention window.
@@ -93,10 +112,37 @@ func main() {
 	cfg.TrendMinSupport = *trendMinCN
 	cfg.TrendThreshold = *trendThr
 
+	// Crash recovery: with -archive-dir, load the newest valid checkpoint
+	// (CRC-verified; a torn newest file falls back to its predecessor),
+	// rebuild the tag dictionary so the stream interns to the same ids,
+	// and resume the source from the recorded cursor. The replayed suffix
+	// rebuilds the period that was in flight when the checkpoint was cut.
+	var rec *core.Recovered
 	dict := tagset.NewDictionary()
+	if *archiveDir != "" {
+		var err error
+		if rec, err = core.Restore(*archiveDir); err != nil {
+			log.Fatalf("tagcorrd: restore %s: %v", *archiveDir, err)
+		}
+		if rec != nil {
+			dict = rec.Dictionary()
+			periods := rec.Periods()
+			log.Printf("tagcorrd: recovered %d periods %v from %s (epoch %d); resuming source at document %d",
+				len(periods), periods, *archiveDir, rec.Epoch(), rec.SkipDocs())
+		} else {
+			log.Printf("tagcorrd: no checkpoint in %s; starting fresh", *archiveDir)
+		}
+		cfg.ArchiveDir = *archiveDir
+		cfg.ArchiveDict = dict
+		cfg.CheckpointEvery = *ckptEvery
+	}
+
 	src, srcErr, err := buildSource(*in, *minutes, *seed, dict)
 	if err != nil {
 		log.Fatalf("tagcorrd: %v", err)
+	}
+	if rec != nil {
+		src = rec.FastForward(src)
 	}
 	if *rate > 0 {
 		src = paced(src, *rate)
@@ -107,8 +153,15 @@ func main() {
 	if err != nil {
 		log.Fatalf("tagcorrd: %v", err)
 	}
+	if err := pipe.Adopt(rec); err != nil {
+		log.Fatalf("tagcorrd: adopt recovered state: %v", err)
+	}
 	h := pipe.Start()
-	srv := server.New(pipe, h, dict, server.Config{TopK: *topk, Refresh: *refresh})
+	scfg := server.Config{TopK: *topk, Refresh: *refresh}
+	if *archiveDir != "" {
+		scfg.History = archive.OpenReader(*archiveDir)
+	}
+	srv := server.New(pipe, h, dict, scfg)
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	go func() {
@@ -131,9 +184,20 @@ func main() {
 	<-sig
 	log.Printf("tagcorrd: shutting down, draining stream")
 
+	// Write a checkpoint before draining: if the drain itself is killed,
+	// the next start still recovers to this moment. The drain's own
+	// end-of-run checkpoint (written inside Wait) then supersedes it.
+	if *archiveDir != "" && h.Running() {
+		if err := pipe.Checkpoint(); err != nil {
+			log.Printf("tagcorrd: pre-drain checkpoint: %v", err)
+		}
+	}
 	stop()
 	res := h.Wait()
 	srv.Close() // final snapshot: the cache now holds the end-of-run state
+	if err := pipe.ArchiveErr(); err != nil {
+		log.Printf("tagcorrd: archive checkpoint error during run: %v", err)
+	}
 
 	fmt.Printf("# docs=%d (bootstrap %d) communication=%.3f loadGini=%.3f\n",
 		res.DocsProcessed, res.DocsBeforeInstall, res.Communication, res.LoadGini)

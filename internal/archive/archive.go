@@ -1,0 +1,183 @@
+// Package archive is the durability subsystem of the live service: an
+// append-only on-disk log of the pipeline's query state, plus periodic
+// checkpoints from which a restarted tagcorrd recovers.
+//
+// Two kinds of files live in an archive directory:
+//
+//   - Segment files, one per reporting period (`period-<id>.seg`). The
+//     Tracker appends every accepted coefficient report (fresh values and
+//     CN upgrades) and the trend detector appends every scored deviation
+//     as they happen, so the segment of a period converges to exactly the
+//     state the in-memory tables held before retention pruned it. Records
+//     are individually CRC-framed; decoding stops at the first invalid
+//     record, so a tail torn by a crash costs at most the unflushed
+//     suffix. Reopening a segment for append first truncates such a torn
+//     tail, keeping the file decodable end to end.
+//
+//   - Checkpoint files (`checkpoint-<seq>.ckpt`): a CRC-verified snapshot
+//     of the restartable state — Tracker periods and evicted-pair LRU,
+//     trend predictors and per-period events, installed partitions, the
+//     interned tag dictionary, and the source cursor. A checkpoint never
+//     contains a partial reporting period: state is cut strictly before
+//     ReplayPeriod, and ReplayFrom records the stream index of that
+//     period's first document, so recovery restores the cut and replays
+//     the suffix. The Tracker's CN-max deduplication makes the replay
+//     overlap idempotent.
+//
+// The Writer is safe for concurrent use (the Tracker and Trend operators
+// append from different tasks); the Reader serves the /history endpoints
+// with a small LRU of decoded segments and tolerates reading segments
+// that are still being appended to.
+package archive
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/jaccard"
+	"repro/internal/tagset"
+	"repro/internal/trend"
+)
+
+// Segment record kinds.
+const (
+	recCoeff = 1
+	recTrend = 2
+)
+
+// segMagic opens every segment file, followed by the period id (8 bytes,
+// little endian). ckptMagic opens every checkpoint file.
+const (
+	segMagic  = "TCARSEG1"
+	ckptMagic = "TCARCKP1"
+)
+
+// maxRecord bounds a single record's payload; anything larger is treated
+// as corruption (a tagset carries at most a handful of uint32 tags).
+const maxRecord = 1 << 20
+
+// record framing: kind byte, payload length (uint32 LE), payload, CRC32
+// (IEEE, over kind+length+payload). The CRC covering the header means a
+// corrupted length cannot silently re-frame the stream.
+
+// appendRecord frames payload into buf and returns the grown buffer.
+func appendRecord(buf []byte, kind byte, payload []byte) []byte {
+	start := len(buf)
+	buf = append(buf, kind)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	crc := crc32.ChecksumIEEE(buf[start:])
+	return binary.LittleEndian.AppendUint32(buf, crc)
+}
+
+// readRecord decodes one framed record at data[off:]. ok is false when the
+// bytes at off do not form a complete, CRC-valid record — the torn-tail
+// (or corruption) signal that ends a segment decode.
+func readRecord(data []byte, off int) (kind byte, payload []byte, next int, ok bool) {
+	if off+5 > len(data) {
+		return 0, nil, 0, false
+	}
+	kind = data[off]
+	n := int(binary.LittleEndian.Uint32(data[off+1 : off+5]))
+	if n > maxRecord || off+5+n+4 > len(data) {
+		return 0, nil, 0, false
+	}
+	body := data[off : off+5+n]
+	crc := binary.LittleEndian.Uint32(data[off+5+n : off+9+n])
+	if crc32.ChecksumIEEE(body) != crc {
+		return 0, nil, 0, false
+	}
+	return kind, body[5:], off + 9 + n, true
+}
+
+// appendTags encodes a tagset as a uint16 count plus uint32 tag ids.
+func appendTags(buf []byte, s tagset.Set) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(s.Len()))
+	for _, t := range s {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(t))
+	}
+	return buf
+}
+
+// readTags decodes a tagset written by appendTags.
+func readTags(payload []byte) (tagset.Set, []byte, error) {
+	if len(payload) < 2 {
+		return nil, nil, fmt.Errorf("archive: short tagset header")
+	}
+	n := int(binary.LittleEndian.Uint16(payload))
+	payload = payload[2:]
+	if len(payload) < 4*n {
+		return nil, nil, fmt.Errorf("archive: short tagset body")
+	}
+	tags := make([]tagset.Tag, n)
+	for i := range tags {
+		tags[i] = tagset.Tag(binary.LittleEndian.Uint32(payload[4*i:]))
+	}
+	return tagset.FromSorted(tags), payload[4*n:], nil
+}
+
+// encodeCoeff renders one coefficient record payload: tags, J, CN.
+func encodeCoeff(buf []byte, c jaccard.Coefficient) []byte {
+	buf = appendTags(buf, c.Tags)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.J))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(c.CN))
+	return buf
+}
+
+// decodeCoeff parses a coefficient record payload.
+func decodeCoeff(payload []byte) (jaccard.Coefficient, error) {
+	tags, rest, err := readTags(payload)
+	if err != nil {
+		return jaccard.Coefficient{}, err
+	}
+	if len(rest) != 16 {
+		return jaccard.Coefficient{}, fmt.Errorf("archive: coefficient payload length %d", len(rest))
+	}
+	return jaccard.Coefficient{
+		Tags: tags,
+		J:    math.Float64frombits(binary.LittleEndian.Uint64(rest)),
+		CN:   int64(binary.LittleEndian.Uint64(rest[8:])),
+	}, nil
+}
+
+// encodeTrend renders one trend-event record payload: tags, predicted,
+// observed, score, rising, CN. The event's period is the segment's.
+func encodeTrend(buf []byte, ev trend.Event) []byte {
+	buf = appendTags(buf, ev.Tags)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(ev.Predicted))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(ev.Observed))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(ev.Score))
+	if ev.Rising {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(ev.CN))
+	return buf
+}
+
+// decodeTrend parses a trend-event record payload into an Event for the
+// given period.
+func decodeTrend(payload []byte, period int64) (trend.Event, error) {
+	tags, rest, err := readTags(payload)
+	if err != nil {
+		return trend.Event{}, err
+	}
+	if len(rest) != 33 {
+		return trend.Event{}, fmt.Errorf("archive: trend payload length %d", len(rest))
+	}
+	return trend.Event{
+		Tags:      tags,
+		Period:    period,
+		Predicted: math.Float64frombits(binary.LittleEndian.Uint64(rest)),
+		Observed:  math.Float64frombits(binary.LittleEndian.Uint64(rest[8:])),
+		Score:     math.Float64frombits(binary.LittleEndian.Uint64(rest[16:])),
+		Rising:    rest[24] == 1,
+		CN:        int64(binary.LittleEndian.Uint64(rest[25:])),
+	}, nil
+}
+
+// segmentName returns the file name of a period's segment.
+func segmentName(period int64) string { return fmt.Sprintf("period-%d.seg", period) }

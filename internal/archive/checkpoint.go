@@ -1,0 +1,200 @@
+package archive
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/operators"
+	"repro/internal/partition"
+	"repro/internal/trend"
+)
+
+// Checkpoint is the restartable state of one pipeline, written periodically
+// (and on shutdown) by the Writer and loaded by LoadCheckpoint on the next
+// start. The invariant every checkpoint upholds: no partial periods. State
+// is cut strictly before ReplayPeriod; ReplayFrom is the stream index of
+// that period's first document, so a restarted service skips ReplayFrom
+// documents of its (deterministic or replayable) source and feeds the rest
+// — the replay rebuilds the cut period and everything after it, and the
+// Tracker's CN-max dedup absorbs any overlap with already-imported state.
+type Checkpoint struct {
+	Seq uint64 // checkpoint sequence number, monotonically increasing
+
+	// DocsFed counts documents the source had produced when the checkpoint
+	// was cut; ReplayFrom is where the restarted source must resume (always
+	// <= DocsFed); ReplayPeriod is the first period the replay rebuilds
+	// (0 when no period had been flushed yet).
+	DocsFed      int64
+	ReplayFrom   int64
+	ReplayPeriod int64
+
+	// Dict is every interned tag string in identifier order: re-interning
+	// them into a fresh dictionary reproduces the Tag ids that the segment
+	// files and the states below reference.
+	Dict []string
+
+	// Epoch, Merges, Quality refs and Partitions restore the partitioning
+	// layer: the Merger's current result and the Disseminators' inverted
+	// index plus monitoring baseline.
+	Epoch      int
+	Merges     int
+	RefAvgCom  float64
+	RefMaxLoad float64
+	HasRef     bool
+	Partitions []partition.Partition
+
+	Tracker operators.TrackerState
+	Trend   *trend.StreamState // nil when the pipeline ran without Config.Trend
+}
+
+// ckptVersion is the on-disk checkpoint format version.
+const ckptVersion = 1
+
+// checkpoint framing: magic (8 bytes), version (uint32 LE), payload length
+// (uint64 LE), CRC32 of the payload (uint32 LE), gob payload. A file that
+// fails any of those checks — torn tail included — is skipped and the
+// previous checkpoint is used instead.
+
+// WriteCheckpoint flushes the open segments, then writes cp as the next
+// checkpoint file (write-to-temp + rename, so a crash mid-write can never
+// produce a file that passes validation), and finally removes all but the
+// two newest checkpoints.
+func (w *Writer) WriteCheckpoint(cp *Checkpoint) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("archive: writer closed")
+	}
+	for _, s := range w.open {
+		s.flush(true)
+	}
+
+	w.seq++
+	cp.Seq = w.seq
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(cp); err != nil {
+		return fmt.Errorf("archive: encode checkpoint: %w", err)
+	}
+	hdr := make([]byte, 0, 24)
+	hdr = append(hdr, ckptMagic...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, ckptVersion)
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(payload.Len()))
+	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.ChecksumIEEE(payload.Bytes()))
+
+	final := filepath.Join(w.dir, checkpointName(w.seq))
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	if _, err = f.Write(hdr); err == nil {
+		_, err = f.Write(payload.Bytes())
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("archive: write checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("archive: %w", err)
+	}
+
+	// Retain the two newest checkpoints: the one just written plus one
+	// fallback in case its tail is torn by a later crash-mid-write of the
+	// filesystem itself.
+	if seqs, err := checkpointSeqs(w.dir); err == nil {
+		for _, s := range seqs {
+			if s+2 <= w.seq {
+				os.Remove(filepath.Join(w.dir, checkpointName(s)))
+			}
+		}
+	}
+	return nil
+}
+
+// LoadCheckpoint returns the newest checkpoint in dir that validates
+// (magic, version, length, CRC), or nil when the directory holds none —
+// a fresh start. Corrupted newer checkpoints are skipped in favour of
+// older valid ones.
+func LoadCheckpoint(dir string) (*Checkpoint, error) {
+	seqs, err := checkpointSeqs(dir)
+	if err != nil || len(seqs) == 0 {
+		return nil, err
+	}
+	for i := len(seqs) - 1; i >= 0; i-- {
+		cp, err := readCheckpoint(filepath.Join(dir, checkpointName(seqs[i])))
+		if err == nil {
+			return cp, nil
+		}
+	}
+	return nil, fmt.Errorf("archive: no valid checkpoint among %d candidates in %s", len(seqs), dir)
+}
+
+func readCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 24 || string(data[:8]) != ckptMagic {
+		return nil, fmt.Errorf("archive: %s: bad magic", path)
+	}
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != ckptVersion {
+		return nil, fmt.Errorf("archive: %s: version %d", path, v)
+	}
+	n := binary.LittleEndian.Uint64(data[12:20])
+	crc := binary.LittleEndian.Uint32(data[20:24])
+	if uint64(len(data)-24) != n {
+		return nil, fmt.Errorf("archive: %s: torn payload (%d of %d bytes)", path, len(data)-24, n)
+	}
+	payload := data[24:]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, fmt.Errorf("archive: %s: payload CRC mismatch", path)
+	}
+	var cp Checkpoint
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("archive: %s: decode: %w", path, err)
+	}
+	return &cp, nil
+}
+
+func checkpointName(seq uint64) string { return fmt.Sprintf("checkpoint-%012d.ckpt", seq) }
+
+// checkpointSeqs lists the checkpoint sequence numbers present in dir,
+// ascending.
+func checkpointSeqs(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "checkpoint-") || !strings.HasSuffix(name, ".ckpt") {
+			continue
+		}
+		s, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "checkpoint-"), ".ckpt"), 10, 64)
+		if err != nil {
+			continue
+		}
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}

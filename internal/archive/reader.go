@@ -1,0 +1,240 @@
+package archive
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/jaccard"
+	"repro/internal/tagset"
+	"repro/internal/trend"
+)
+
+// maxCachedSegments bounds the Reader's decoded-segment LRU. History
+// queries concentrate on a few hot periods; everything else streams from
+// disk on demand.
+const maxCachedSegments = 8
+
+// Segment is one decoded period: the deduplicated coefficients (last
+// record wins per tagset, mirroring the Tracker's CN-upgrade semantics)
+// and the scored trend deviations. Torn reports that decoding stopped at
+// an invalid record — the tail a crash left unflushed.
+type Segment struct {
+	Period int64
+	Coeffs []jaccard.Coefficient // sorted by descending J (report order)
+	Trends []trend.Event         // sorted by descending score
+	Torn   bool
+
+	byKey map[tagset.Key]jaccard.Coefficient
+}
+
+// Coefficient returns the period's coefficient for one tagset key.
+func (s *Segment) Coefficient(k tagset.Key) (jaccard.Coefficient, bool) {
+	c, ok := s.byKey[k]
+	return c, ok
+}
+
+// Reader serves history queries from an archive directory. It keeps a
+// small LRU of decoded segments, keyed by file size so a segment that is
+// still being appended to (the live periods) is transparently re-decoded
+// when it grows. All methods are safe for concurrent use.
+type Reader struct {
+	dir string
+
+	mu    sync.Mutex
+	cache map[int64]*cachedSegment
+	order []int64 // cached periods, least recently used first
+}
+
+type cachedSegment struct {
+	seg  *Segment
+	size int64
+}
+
+// OpenReader returns a Reader over dir. The directory may be empty or not
+// yet exist (queries then answer empty); it may also be actively written
+// by a live pipeline.
+func OpenReader(dir string) *Reader {
+	return &Reader{dir: dir, cache: make(map[int64]*cachedSegment)}
+}
+
+// Dir returns the archive directory.
+func (r *Reader) Dir() string { return r.dir }
+
+// Periods lists the period ids with a segment on disk, ascending. It scans
+// the directory on every call, so freshly opened periods appear without
+// invalidation machinery.
+func (r *Reader) Periods() ([]int64, error) {
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	var out []int64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "period-") || !strings.HasSuffix(name, ".seg") {
+			continue
+		}
+		p, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(name, "period-"), ".seg"), 10, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Segment returns one period's decoded segment, from the LRU when its file
+// has not grown since it was cached. A missing segment returns (nil, nil).
+func (r *Reader) Segment(period int64) (*Segment, error) {
+	path := filepath.Join(r.dir, segmentName(period))
+	fi, err := os.Stat(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+
+	r.mu.Lock()
+	if c, ok := r.cache[period]; ok && c.size == fi.Size() {
+		r.touchLocked(period)
+		r.mu.Unlock()
+		return c.seg, nil
+	}
+	r.mu.Unlock()
+
+	seg, size, err := decodeSegmentFile(path, period)
+	if err != nil {
+		return nil, err
+	}
+
+	r.mu.Lock()
+	if _, ok := r.cache[period]; !ok {
+		r.order = append(r.order, period)
+	}
+	r.cache[period] = &cachedSegment{seg: seg, size: size}
+	r.touchLocked(period)
+	if len(r.order) > maxCachedSegments {
+		delete(r.cache, r.order[0])
+		r.order = r.order[1:]
+	}
+	r.mu.Unlock()
+	return seg, nil
+}
+
+func (r *Reader) touchLocked(period int64) {
+	for i, p := range r.order {
+		if p == period {
+			r.order = append(append(r.order[:i:i], r.order[i+1:]...), period)
+			return
+		}
+	}
+}
+
+// LookupPair returns the most recent archived coefficient for one tagset
+// key, scanning at most maxPeriods on-disk periods newest first (<= 0
+// scans everything). This is the history analogue of Tracker.Lookup: it
+// answers arbitrarily far past both the retention window and the
+// evicted-pair LRU, at the cost of decoding cold segments until the pair
+// is found. Callers serving unauthenticated traffic should bound the scan
+// — a pair that was never reported would otherwise cost a full decode of
+// the entire archive (and churn the segment LRU) on every request.
+func (r *Reader) LookupPair(k tagset.Key, maxPeriods int) (c jaccard.Coefficient, period int64, ok bool, err error) {
+	periods, err := r.Periods()
+	if err != nil {
+		return jaccard.Coefficient{}, 0, false, err
+	}
+	if maxPeriods > 0 && len(periods) > maxPeriods {
+		periods = periods[len(periods)-maxPeriods:]
+	}
+	for i := len(periods) - 1; i >= 0; i-- {
+		seg, err := r.Segment(periods[i])
+		if err != nil {
+			return jaccard.Coefficient{}, 0, false, err
+		}
+		if seg == nil {
+			continue
+		}
+		if c, ok := seg.Coefficient(k); ok {
+			return c, periods[i], true, nil
+		}
+	}
+	return jaccard.Coefficient{}, 0, false, nil
+}
+
+// decodeSegmentFile streams one segment file into a Segment: records are
+// CRC-checked one by one and decoding stops at the first invalid record
+// (torn tail), returning everything before it.
+func decodeSegmentFile(path string, period int64) (*Segment, int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("archive: %w", err)
+	}
+	seg := &Segment{Period: period, byKey: make(map[tagset.Key]jaccard.Coefficient)}
+	if len(data) < 16 || string(data[:8]) != segMagic ||
+		int64(binary.LittleEndian.Uint64(data[8:16])) != period {
+		seg.Torn = len(data) > 0
+		return seg, int64(len(data)), nil
+	}
+	trends := make(map[tagset.Key]trend.Event)
+	off := 16
+	for off < len(data) {
+		kind, payload, next, ok := readRecord(data, off)
+		if !ok {
+			seg.Torn = true
+			break
+		}
+		switch kind {
+		case recCoeff:
+			if c, err := decodeCoeff(payload); err == nil {
+				seg.byKey[c.Tags.Key()] = c // last record wins: CN upgrades
+			} else {
+				seg.Torn = true
+			}
+		case recTrend:
+			if ev, err := decodeTrend(payload, period); err == nil {
+				trends[ev.Tags.Key()] = ev // last correction wins
+			} else {
+				seg.Torn = true
+			}
+		}
+		off = next
+	}
+
+	seg.Coeffs = make([]jaccard.Coefficient, 0, len(seg.byKey))
+	for _, c := range seg.byKey {
+		seg.Coeffs = append(seg.Coeffs, c)
+	}
+	sort.Slice(seg.Coeffs, func(i, j int) bool {
+		a, b := seg.Coeffs[i], seg.Coeffs[j]
+		if a.J != b.J {
+			return a.J > b.J
+		}
+		if a.CN != b.CN {
+			return a.CN > b.CN
+		}
+		return a.Tags.Key() < b.Tags.Key()
+	})
+	seg.Trends = make([]trend.Event, 0, len(trends))
+	for _, ev := range trends {
+		seg.Trends = append(seg.Trends, ev)
+	}
+	sort.Slice(seg.Trends, func(i, j int) bool {
+		a, b := seg.Trends[i], seg.Trends[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		return a.Tags.Key() < b.Tags.Key()
+	})
+	return seg, int64(len(data)), nil
+}

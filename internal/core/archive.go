@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/archive"
+	"repro/internal/stream"
+	"repro/internal/tagset"
+)
+
+// This file wires the archive subsystem (internal/archive) into the
+// pipeline: a cursor-tracking source wrapper, the checkpoint path, and the
+// restore path a restarted service recovers through.
+//
+// The recovery protocol in one paragraph: a checkpoint never contains a
+// partial reporting period. When the Tracker registers a brand-new period
+// P (meaning period P-… just produced its first flush and P's documents
+// are flowing), the checkpointer cuts the state strictly before P and
+// records ReplayFrom — the stream index of P's first document. A restarted
+// process imports the cut, skips ReplayFrom documents of its rebuilt
+// source, and feeds the rest: the Calculators recount period P from
+// scratch (their tables are period-scoped, so nothing else is needed),
+// the Tracker's CN-max dedup absorbs any overlap, and the trend
+// predictors — exported rolled back to their pre-P state — re-advance
+// identically. On a deterministic or replayable source the recovered run
+// is indistinguishable from one that never stopped, as long as the
+// partition assignment was stable across the replayed window (repartition
+// decisions depend on monitoring state that restarts empty).
+
+// sourceCursor counts the documents a pipeline's source has produced and
+// remembers, per reporting period, the stream index of the period's first
+// document — the ReplayFrom value checkpoints record.
+type sourceCursor struct {
+	every stream.Millis
+
+	mu       sync.Mutex
+	base     int64           // documents skipped before this process fed any
+	fed      int64           // documents fed by this process
+	firstDoc map[int64]int64 // period id -> absolute index of its first document
+}
+
+func newSourceCursor(every stream.Millis) *sourceCursor {
+	return &sourceCursor{every: every, firstDoc: make(map[int64]int64)}
+}
+
+// wrap interposes the cursor on a document source.
+func (c *sourceCursor) wrap(src DocumentSource) DocumentSource {
+	return func() (stream.Document, bool) {
+		d, ok := src()
+		if !ok {
+			return d, ok
+		}
+		c.mu.Lock()
+		idx := c.base + c.fed
+		c.fed++
+		// A document at time t belongs to the period ending at
+		// alignUp(t, every), i.e. period id t/every + 1.
+		period := int64(d.Time/c.every) + 1
+		if _, seen := c.firstDoc[period]; !seen {
+			c.firstDoc[period] = idx
+		}
+		c.mu.Unlock()
+		return d, true
+	}
+}
+
+// cut returns the checkpoint cursor for a cut at replayPeriod: the total
+// documents produced and the index replay must resume from. Entries below
+// the cut are pruned (they can never be replayed again).
+func (c *sourceCursor) cut(replayPeriod int64) (docsFed, replayFrom int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	docsFed = c.base + c.fed
+	var ok bool
+	if replayFrom, ok = c.firstDoc[replayPeriod]; !ok {
+		// No document of the cut period passed this process's source —
+		// nothing has been flushed yet, or the cut period came entirely out
+		// of an imported checkpoint. Resuming where this process resumed is
+		// always safe: replay can only overlap, never skip.
+		replayFrom = c.base
+		return docsFed, replayFrom
+	}
+	for p := range c.firstDoc {
+		if p < replayPeriod {
+			delete(c.firstDoc, p)
+		}
+	}
+	return docsFed, replayFrom
+}
+
+// onPeriodOpen is the Tracker's period hook: every cfg.CheckpointEvery
+// freshly opened periods, write a checkpoint. It runs synchronously on the
+// reporting task's goroutine — before the new period's first coefficient
+// is recorded — which is exactly what makes the no-partial-periods cut
+// exact on the deterministic executor and crash-consistent on the
+// concurrent one. Checkpoint errors are remembered for ArchiveErr rather
+// than propagated into the dataflow.
+func (p *Pipeline) onPeriodOpen(period int64) {
+	every := p.cfg.CheckpointEvery
+	if every <= 0 {
+		every = 1
+	}
+	p.archMu.Lock()
+	p.periodsOpened++
+	due := p.periodsOpened%int64(every) == 0
+	p.archMu.Unlock()
+	if !due {
+		return
+	}
+	if err := p.Checkpoint(); err != nil {
+		p.archMu.Lock()
+		p.archErr = err
+		p.archMu.Unlock()
+	}
+}
+
+// Checkpoint writes a recovery point to the archive directory: the state
+// of every sealed reporting period, the partitioning layer, the tag
+// dictionary and the source cursor. It may be called at any time — before,
+// during or after the run — from any goroutine; the tagcorrd daemon calls
+// it on SIGTERM before draining, and the pipeline itself checkpoints every
+// Config.CheckpointEvery periods and once more when the run drains.
+func (p *Pipeline) Checkpoint() error {
+	if p.arch == nil {
+		return fmt.Errorf("core: archive not configured (Config.ArchiveDir)")
+	}
+
+	// Cut strictly before the newest period the Tracker knows: that period
+	// may still be partially flushed (other Calculators get to it when
+	// their next notification arrives), so it is replayed, not persisted.
+	cut, ok := p.tracker.NewestPeriod()
+	if !ok {
+		cut = math.MaxInt64 // nothing flushed yet: export the empty state
+	}
+	cp := &archive.Checkpoint{
+		ReplayPeriod: cut,
+		Dict:         p.cfg.ArchiveDict.Snapshot(),
+		Tracker:      p.tracker.ExportState(cut),
+		Partitions:   p.merger.PartitionsSnapshot(),
+		Merges:       p.merger.MergeCount(),
+	}
+	if !ok {
+		cp.ReplayPeriod = 0
+	}
+	cp.DocsFed, cp.ReplayFrom = p.cursor.cut(cut)
+	for _, d := range p.disseminators {
+		if epoch, _ := d.Epoch(); epoch > cp.Epoch {
+			cp.Epoch = epoch
+		}
+	}
+	if len(p.disseminators) > 0 {
+		cp.RefAvgCom, cp.RefMaxLoad, cp.HasRef = p.disseminators[0].QualityRefs()
+	}
+	if p.trends != nil {
+		st := p.trends.ExportState(cut)
+		cp.Trend = &st
+	}
+	return p.arch.WriteCheckpoint(cp)
+}
+
+// ArchiveErr returns the first error the background checkpoint path hit
+// (nil when archiving is off or healthy). The daemon surfaces it at
+// shutdown.
+func (p *Pipeline) ArchiveErr() error {
+	p.archMu.Lock()
+	defer p.archMu.Unlock()
+	return p.archErr
+}
+
+// finishArchive writes the end-of-run checkpoint and closes the segment
+// files; called once from collect when the stream has drained. After the
+// drain the newest Tracker period is the Cleanup-flushed final partial
+// period, so the uniform cut rule applies unchanged: that period is
+// replayed on the next start.
+func (p *Pipeline) finishArchive() {
+	if p.arch == nil {
+		return
+	}
+	if err := p.Checkpoint(); err != nil {
+		p.archMu.Lock()
+		p.archErr = err
+		p.archMu.Unlock()
+	}
+	p.arch.Close()
+}
+
+// Recovered is the state core.Restore loaded from an archive directory.
+// Use it to rebuild the tag dictionary, fast-forward the rebuilt source,
+// and (via Pipeline.Adopt) import the operator state.
+type Recovered struct {
+	cp   *archive.Checkpoint
+	dict *tagset.Dictionary
+}
+
+// Restore loads the newest valid checkpoint under dir. It returns
+// (nil, nil) when the directory holds no checkpoint — a fresh start — and
+// an error when checkpoints exist but none validates.
+func Restore(dir string) (*Recovered, error) {
+	cp, err := archive.LoadCheckpoint(dir)
+	if err != nil || cp == nil {
+		return nil, err
+	}
+	dict := tagset.NewDictionary()
+	for _, s := range cp.Dict {
+		dict.Intern(s)
+	}
+	return &Recovered{cp: cp, dict: dict}, nil
+}
+
+// Dictionary returns the rebuilt tag dictionary. Build the input source
+// with it (and pass it as Config.ArchiveDict) so the stream's tags intern
+// to the identifiers the recovered state references.
+func (r *Recovered) Dictionary() *tagset.Dictionary { return r.dict }
+
+// SkipDocs returns how many documents of the rebuilt source must be
+// discarded before feeding the pipeline — the replay cursor.
+func (r *Recovered) SkipDocs() int64 { return r.cp.ReplayFrom }
+
+// Periods returns the recovered reporting period ids, ascending.
+func (r *Recovered) Periods() []int64 {
+	out := make([]int64, 0, len(r.cp.Tracker.Periods))
+	for _, pc := range r.cp.Tracker.Periods {
+		out = append(out, pc.Period)
+	}
+	return out
+}
+
+// Epoch returns the recovered partition epoch (0: none installed).
+func (r *Recovered) Epoch() int { return r.cp.Epoch }
+
+// FastForward wraps src so its first SkipDocs documents are read and
+// discarded (lazily, on the first pull): the replayed stream then starts
+// exactly at the recovered cut. The discarded reads re-intern their tags,
+// which is harmless — the dictionary already contains them.
+func (r *Recovered) FastForward(src DocumentSource) DocumentSource {
+	skip := r.cp.ReplayFrom
+	done := false
+	return func() (stream.Document, bool) {
+		if !done {
+			done = true
+			for i := int64(0); i < skip; i++ {
+				if _, ok := src(); !ok {
+					break
+				}
+			}
+		}
+		return src()
+	}
+}
+
+// Adopt imports recovered state into a freshly built pipeline. Call it
+// between NewPipeline and Start (never on a running pipeline): it loads
+// the Tracker's periods and evicted-pair LRU, the trend predictors and
+// events, installs the recovered partitions into the Merger and every
+// Disseminator (so routing resumes at the recovered epoch instead of
+// re-bootstrapping), and seeds the source cursor so the next checkpoint's
+// ReplayFrom stays absolute in the original stream.
+func (p *Pipeline) Adopt(r *Recovered) error {
+	if r == nil {
+		return nil
+	}
+	cp := r.cp
+	p.tracker.ImportState(cp.Tracker)
+	if cp.Trend != nil && p.trends != nil {
+		p.trends.ImportState(*cp.Trend)
+	}
+	if len(cp.Partitions) > 0 {
+		p.merger.RestorePartitions(cp.Partitions, cp.Merges)
+		for _, d := range p.disseminators {
+			d.RestorePartitions(cp.Epoch, cp.Partitions, cp.RefAvgCom, cp.RefMaxLoad, cp.HasRef)
+		}
+	}
+	if p.cursor != nil {
+		p.cursor.mu.Lock()
+		p.cursor.base = cp.ReplayFrom
+		p.cursor.mu.Unlock()
+	}
+	return nil
+}

@@ -14,8 +14,10 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
+	"repro/internal/archive"
 	"repro/internal/jaccard"
 	"repro/internal/operators"
 	"repro/internal/partition"
@@ -86,6 +88,16 @@ type Pipeline struct {
 	calculators   []*operators.Calculator
 	tracker       *operators.Tracker
 	trends        *trend.Stream // nil unless cfg.Trend
+
+	// Durability (nil / zero unless cfg.ArchiveDir): the segment/checkpoint
+	// writer, the source cursor checkpoints record, and the period counter
+	// driving the checkpoint cadence. archErr remembers the first failed
+	// background checkpoint for ArchiveErr.
+	arch          *archive.Writer
+	cursor        *sourceCursor
+	archMu        sync.Mutex
+	archErr       error
+	periodsOpened int64
 }
 
 // NewPipeline assembles the topology for the given configuration and input.
@@ -100,6 +112,16 @@ func NewPipeline(cfg Config, src DocumentSource) (*Pipeline, error) {
 		return nil, fmt.Errorf("core: nil document source")
 	}
 	p := &Pipeline{cfg: cfg}
+
+	if cfg.ArchiveDir != "" {
+		w, err := archive.OpenWriter(cfg.ArchiveDir)
+		if err != nil {
+			return nil, err
+		}
+		p.arch = w
+		p.cursor = newSourceCursor(cfg.ReportEvery)
+		src = p.cursor.wrap(src)
+	}
 
 	b := storm.NewBuilder()
 	b.Spout("source", func() storm.Spout {
@@ -158,6 +180,10 @@ func NewPipeline(cfg Config, src DocumentSource) (*Pipeline, error) {
 			if cfg.Trend {
 				p.tracker.EnableTrendEmit()
 			}
+			if p.arch != nil {
+				p.tracker.SetArchive(p.arch)
+				p.tracker.SetPeriodHook(p.onPeriodOpen)
+			}
 		}
 		return p.tracker
 	}, trackerTasks).Fields("calculator", operators.CoeffKey)
@@ -168,6 +194,9 @@ func NewPipeline(cfg Config, src DocumentSource) (*Pipeline, error) {
 			return nil, err
 		}
 		p.trends = det
+		if p.arch != nil {
+			det.SetArchive(p.arch)
+		}
 		tasks := cfg.TrendTasks
 		if tasks == 0 {
 			tasks = 1
@@ -242,6 +271,9 @@ func (p *Pipeline) RunConcurrent() *Result {
 }
 
 func (p *Pipeline) collect(st *storm.Stats) *Result {
+	// The stream has drained: write the end-of-run checkpoint and close the
+	// segment files (no-op without Config.ArchiveDir).
+	p.finishArchive()
 	r := &Result{
 		Coefficients: p.tracker.All(),
 		Merges:       p.merger.Merges,

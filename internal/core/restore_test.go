@@ -1,0 +1,306 @@
+package core
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/archive"
+	"repro/internal/operators"
+	"repro/internal/stream"
+	"repro/internal/tagset"
+	"repro/internal/trend"
+	"repro/internal/twitgen"
+)
+
+// restoreStream generates a deterministic stream dense enough to cross
+// many reporting periods quickly: 1000 docs per virtual second, half of
+// them tagged, over a compact topic universe so pairs recur with real
+// counter support.
+func restoreStream(t *testing.T, n int) ([]stream.Document, *tagset.Dictionary) {
+	t.Helper()
+	dict := tagset.NewDictionary()
+	cfg := twitgen.Default()
+	cfg.Seed = 17
+	cfg.TPS = 1000
+	cfg.TaggedFraction = 0.5
+	cfg.Topics = 40
+	cfg.TagsPerTopic = 8
+	g, err := twitgen.New(cfg, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Generate(n), dict
+}
+
+// restoreConfig is the differential's pipeline configuration: small fast
+// periods, retention tight enough that pruning happens mid-run, trend
+// detection on, and the monitoring triggers that inject non-checkpointed
+// state into the data path (repartitions, single additions) disabled so
+// the comparison isolates the recovery protocol itself.
+func restoreConfig(dir string, dict *tagset.Dictionary) Config {
+	cfg := DefaultConfig()
+	cfg.K = 4
+	cfg.P = 3
+	cfg.WindowSpan = stream.Seconds(5)
+	cfg.ReportEvery = stream.Seconds(5)
+	cfg.StatsEvery = math.MaxInt32 // no repartition evaluation
+	cfg.SN = math.MaxInt32         // no single additions
+	cfg.KeepPeriods = 3
+	cfg.EvictedPairs = 512
+	cfg.NoSeries = true
+	cfg.Trend = true
+	cfg.TrendMinSupport = 2
+	cfg.TrendThreshold = 0.05
+	cfg.ArchiveDir = dir
+	cfg.ArchiveDict = dict
+	cfg.CheckpointEvery = 1
+	return cfg
+}
+
+// zeroCounters blanks the intake counters recovery does not preserve
+// exactly (the replayed suffix re-counts receptions and re-scores
+// corrections); everything else must match bit for bit.
+func zeroTrackerCounters(st *operators.TrackerState) {
+	st.Received, st.Duplicates, st.Late = 0, 0, 0
+}
+
+func zeroTrendCounters(st *trend.StreamState) {
+	st.Scored, st.Filtered, st.OutOfOrder, st.Late, st.Published, st.Dropped = 0, 0, 0, 0, 0, 0
+}
+
+// runWhole runs docs through a fresh archived pipeline sequentially and
+// returns it.
+func runWhole(t *testing.T, dir string, dict *tagset.Dictionary, docs []stream.Document) *Pipeline {
+	t.Helper()
+	pipe, err := NewPipeline(restoreConfig(dir, dict), SliceSource(docs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe.Run()
+	if err := pipe.ArchiveErr(); err != nil {
+		t.Fatalf("archive error: %v", err)
+	}
+	return pipe
+}
+
+// resumeFrom restores dir, replays docs from the recovered cursor through
+// an adopted pipeline, and returns the pipeline.
+func resumeFrom(t *testing.T, dir string, docs []stream.Document) *Pipeline {
+	t.Helper()
+	rec, err := Restore(dir)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if rec == nil {
+		t.Fatal("no checkpoint to restore")
+	}
+	skip := rec.SkipDocs()
+	if skip <= 0 || skip >= int64(len(docs)) {
+		t.Fatalf("replay cursor %d outside the stream (%d docs)", skip, len(docs))
+	}
+	pipe, err := NewPipeline(restoreConfig(dir, rec.Dictionary()), SliceSource(docs[skip:]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.Adopt(rec); err != nil {
+		t.Fatalf("adopt: %v", err)
+	}
+	pipe.Run()
+	if err := pipe.ArchiveErr(); err != nil {
+		t.Fatalf("archive error after resume: %v", err)
+	}
+	return pipe
+}
+
+// refSnapshot captures the uninterrupted reference pipeline's end state
+// once, before any point lookups run: an evicted-pair lookup touches the
+// LRU's recency order, so exports taken after lookups would no longer
+// describe the pristine end-of-run state.
+type refSnapshot struct {
+	pipe    *Pipeline
+	tracker operators.TrackerState
+	trend   trend.StreamState
+}
+
+func snapshotRef(ref *Pipeline) refSnapshot {
+	s := refSnapshot{
+		pipe:    ref,
+		tracker: ref.Tracker().ExportState(math.MaxInt64),
+		trend:   ref.Trends().ExportState(math.MaxInt64),
+	}
+	zeroTrackerCounters(&s.tracker)
+	zeroTrendCounters(&s.trend)
+	return s
+}
+
+// compareRecovered asserts that a recovered pipeline's end state is
+// bit-identical to the uninterrupted reference: full Tracker state
+// (periods, coefficients, floors, evicted LRU), top-k ranking, point
+// lookups, and the trend detector's predictors, events and rankings.
+func compareRecovered(t *testing.T, ref refSnapshot, got *Pipeline) {
+	t.Helper()
+	refState := ref.tracker
+	gotState := got.Tracker().ExportState(math.MaxInt64)
+	zeroTrackerCounters(&gotState)
+	if !reflect.DeepEqual(refState, gotState) {
+		t.Errorf("tracker state diverged after recovery:\nref periods=%d evicted=%d floor=%d\ngot periods=%d evicted=%d floor=%d",
+			len(refState.Periods), len(refState.Evicted), refState.Floor,
+			len(gotState.Periods), len(gotState.Evicted), gotState.Floor)
+	}
+
+	refTop := ref.pipe.Tracker().TopK(50)
+	gotTop := got.Tracker().TopK(50)
+	if !reflect.DeepEqual(refTop, gotTop) {
+		t.Errorf("top-k diverged: ref %d coefficients, got %d", len(refTop), len(gotTop))
+	}
+	for i, c := range refTop {
+		if i >= 10 {
+			break
+		}
+		rc, rp, re, rok := ref.pipe.Tracker().LookupDetail(c.Tags.Key())
+		gc, gp, ge, gok := got.Tracker().LookupDetail(c.Tags.Key())
+		if rok != gok || rp != gp || re != ge || !reflect.DeepEqual(rc, gc) {
+			t.Errorf("pair lookup %v diverged: ref (%v,%d,%v,%v) got (%v,%d,%v,%v)",
+				c.Tags, rc, rp, re, rok, gc, gp, ge, gok)
+		}
+	}
+	// A pair that only the evicted LRU still remembers must answer
+	// identically too.
+	if n := len(refState.Evicted); n > 0 {
+		k := refState.Evicted[n-1].Coeff.Tags.Key()
+		rc, rp, re, rok := ref.pipe.Tracker().LookupDetail(k)
+		gc, gp, ge, gok := got.Tracker().LookupDetail(k)
+		if rok != gok || rp != gp || re != ge || !reflect.DeepEqual(rc, gc) {
+			t.Errorf("evicted-pair lookup diverged: ref (%v,%d,%v,%v) got (%v,%d,%v,%v)",
+				rc, rp, re, rok, gc, gp, ge, gok)
+		}
+	}
+
+	refTrend := ref.trend
+	gotTrend := got.Trends().ExportState(math.MaxInt64)
+	zeroTrendCounters(&gotTrend)
+	if !reflect.DeepEqual(refTrend, gotTrend) {
+		t.Errorf("trend state diverged after recovery: ref %d predictors / %d periods, got %d predictors / %d periods",
+			len(refTrend.Predictors), len(refTrend.Periods),
+			len(gotTrend.Predictors), len(gotTrend.Periods))
+	}
+	if latest := ref.pipe.Trends().LatestPeriod(); latest != math.MinInt64 {
+		refRank := ref.pipe.Trends().TopTrends(latest, 20)
+		gotRank := got.Trends().TopTrends(latest, 20)
+		if !reflect.DeepEqual(refRank, gotRank) {
+			t.Errorf("trend ranking diverged for period %d: ref %d events, got %d", latest, len(refRank), len(gotRank))
+		}
+	}
+}
+
+// TestRestoreDifferential is the kill-and-restore differential: run the
+// first part of a stream through an archived pipeline, drain it (the
+// end-of-run checkpoint cuts before the final partial period), restart
+// from disk, replay the remainder — and require the Tracker, trend and
+// lookup state to be bit-identical to one uninterrupted run of the whole
+// stream. A second phase restores from an *older* (mid-run) checkpoint
+// after corrupting the newest one, exercising the CRC fallback and a
+// longer replay, with the same exactness requirement.
+func TestRestoreDifferential(t *testing.T) {
+	docs, dict := restoreStream(t, 42000) // 42 virtual seconds ≈ 8 periods
+	cut := 25000
+
+	refDir := t.TempDir()
+	refPipe := runWhole(t, refDir, dict, docs)
+	if periods := refPipe.Tracker().Periods(); len(periods) < 3 {
+		t.Fatalf("reference run too short: retained periods %v", periods)
+	}
+	if refPipe.Trends().LatestPeriod() == math.MinInt64 {
+		t.Fatal("reference run scored no trend events")
+	}
+	ref := snapshotRef(refPipe)
+	if ref.tracker.Pruned == 0 {
+		t.Fatal("reference run never pruned; the differential must cross the retention floor")
+	}
+
+	// Phase 1: graceful-stop recovery (newest checkpoint).
+	dirB := t.TempDir()
+	runWhole(t, dirB, dict, docs[:cut])
+	// Preserve the post-interruption directory for phase 2 before the
+	// resumed run advances it.
+	dirC := t.TempDir()
+	copyDir(t, dirB, dirC)
+
+	resumed := resumeFrom(t, dirB, docs)
+	compareRecovered(t, ref, resumed)
+
+	// Phase 2: the newest checkpoint is torn by a crash — recovery must
+	// fall back to the previous (mid-run) checkpoint and replay a longer
+	// suffix to the same end state.
+	seqs := checkpointFiles(t, dirC)
+	if len(seqs) < 2 {
+		t.Fatalf("expected >= 2 retained checkpoints, got %v", seqs)
+	}
+	newest := seqs[len(seqs)-1]
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff // corrupt the payload tail: CRC must reject it
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resumed2 := resumeFrom(t, dirC, docs)
+	compareRecovered(t, ref, resumed2)
+
+	// The recovered archive must answer history queries for periods far
+	// below the in-memory pruning floor, identically to the reference
+	// archive. The oldest archived period (the first one reported after
+	// bootstrap) has long been pruned from memory by KeepPeriods.
+	refRd, gotRd := archive.OpenReader(refDir), archive.OpenReader(dirB)
+	refPeriods, err := refRd.Periods()
+	if err != nil || len(refPeriods) == 0 {
+		t.Fatalf("reference archive lists no periods (err=%v)", err)
+	}
+	oldest := refPeriods[0]
+	if floor := resumed.Tracker().ExportState(math.MaxInt64).Floor; oldest > floor {
+		t.Fatalf("oldest archived period %d not past the pruning floor %d; the history assertion is vacuous", oldest, floor)
+	}
+	refSeg, err := refRd.Segment(oldest)
+	if err != nil || refSeg == nil || len(refSeg.Coeffs) == 0 {
+		t.Fatalf("reference archive has no period-%d segment (err=%v)", oldest, err)
+	}
+	gotSeg, err := gotRd.Segment(oldest)
+	if err != nil || gotSeg == nil {
+		t.Fatalf("recovered archive has no period-%d segment (err=%v)", oldest, err)
+	}
+	if !reflect.DeepEqual(refSeg.Coeffs, gotSeg.Coeffs) {
+		t.Errorf("archived period %d diverged: ref %d coefficients, got %d", oldest, len(refSeg.Coeffs), len(gotSeg.Coeffs))
+	}
+}
+
+// checkpointFiles lists dir's checkpoint files sorted by name (sequence
+// order, zero-padded).
+func checkpointFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	m, err := filepath.Glob(filepath.Join(dir, "checkpoint-*.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func copyDir(t *testing.T, from, to string) {
+	t.Helper()
+	entries, err := os.ReadDir(from)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(from, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(to, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

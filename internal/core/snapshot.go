@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/jaccard"
 	"repro/internal/operators"
@@ -25,6 +26,14 @@ import (
 // RunConcurrent on another goroutine): all the state it reads is guarded
 // by the operators' own locks.
 type Snapshot struct {
+	// TakenAt stamps the moment the Tracker's consistent pass ran,
+	// carrying Go's monotonic clock reading: time.Since(TakenAt) is the
+	// snapshot's age regardless of wall-clock adjustments. Under CPU
+	// saturation the serving layer's refresh loop can stall on operator
+	// locks; the stamp (surfaced as snapshot_age_ms in /stats) makes that
+	// staleness observable instead of silently serving old data as fresh.
+	TakenAt time.Time
+
 	// DocsProcessed counts parsed documents seen by the Disseminators; it
 	// is monotone over the lifetime of a run. DocsBeforeInstall counts the
 	// prefix that arrived before the first partitions were installed.
@@ -100,18 +109,25 @@ type Snapshot struct {
 // accumulated per Disseminator are summed across instances (with the
 // paper's single-Disseminator configuration they are exact).
 func (p *Pipeline) Snapshot(k int) *Snapshot {
+	// One consistent pass over the Tracker: top-k, period list and
+	// structural stats are read while the registry and every shard lock
+	// are held together, so a snapshot can no longer pair a populated
+	// intake counter with an empty period list (the CPU-saturation
+	// staleness the ROADMAP documented).
+	top, periods, tstats := p.tracker.ConsistentView(k)
 	s := &Snapshot{
-		TopK:         p.tracker.TopK(k),
-		Periods:      p.tracker.Periods(),
+		TakenAt:      time.Now(),
+		TopK:         top,
+		Periods:      periods,
 		Merges:       p.merger.MergeCount(),
-		Tracker:      p.tracker.StatsSnapshot(),
+		Tracker:      tstats,
 		TrackerTasks: p.cfg.TrackerTasks,
 		NotifyBatch:  p.cfg.NotifyBatch,
 	}
 	if s.TrackerTasks == 0 {
 		s.TrackerTasks = 1
 	}
-	s.CoefficientsReceived, s.CoefficientsDuplicate = p.tracker.Counts()
+	s.CoefficientsReceived, s.CoefficientsDuplicate = tstats.Received, tstats.Duplicates
 	s.Partitions = p.merger.PartitionsSnapshot()
 
 	for _, d := range p.disseminators {
@@ -215,6 +231,10 @@ func (h *Handle) Running() bool { return h.run.Running() }
 
 // Snapshot takes a live snapshot of the running (or finished) pipeline.
 func (h *Handle) Snapshot(k int) *Snapshot { return h.p.Snapshot(k) }
+
+// Checkpoint writes a recovery point for the running pipeline (see
+// Pipeline.Checkpoint); it errors unless Config.ArchiveDir is set.
+func (h *Handle) Checkpoint() error { return h.p.Checkpoint() }
 
 // Wait blocks until the stream drains and returns the final Result. It is
 // safe to call from several goroutines; all receive the same Result.

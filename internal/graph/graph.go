@@ -91,7 +91,14 @@ func Components(sets []stream.WeightedSet) []Component {
 		if out[i].Load != out[j].Load {
 			return out[i].Load > out[j].Load
 		}
-		return out[i].Tags.Len() > out[j].Tags.Len()
+		if out[i].Tags.Len() != out[j].Tags.Len() {
+			return out[i].Tags.Len() > out[j].Tags.Len()
+		}
+		// Total order: components equal in load and size would otherwise
+		// keep the map-iteration order they were gathered in, making the
+		// downstream partition packing — and with it every coefficient the
+		// pipeline reports — differ between runs over identical input.
+		return out[i].Tags.Key() < out[j].Tags.Key()
 	})
 	return out
 }

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/metrics"
+	"repro/internal/partition"
 	"repro/internal/storm"
 	"repro/internal/tagset"
 )
@@ -150,6 +151,42 @@ func (d *Disseminator) Epoch() (epoch int, awaiting bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.epoch, d.awaiting
+}
+
+// QualityRefs returns the reference quality values the Disseminator
+// monitors against (ok=false before the first install) — checkpointed so
+// a restored Disseminator resumes degradation monitoring with the same
+// baseline instead of re-calibrating from scratch.
+func (d *Disseminator) QualityRefs() (avgCom, maxLoad float64, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.refAvgCom, d.refMaxLoad, d.hasRef
+}
+
+// RestorePartitions rebuilds the inverted index from checkpointed
+// partitions and adopts the checkpointed epoch and reference quality — the
+// recovery path. Call before the run starts: with a non-zero epoch
+// installed, the restarted Disseminator routes documents immediately
+// instead of re-entering bootstrap. Monitoring state that is not
+// checkpointed (batch statistics, uncovered-tagset counters) restarts
+// empty.
+func (d *Disseminator) RestorePartitions(epoch int, parts []partition.Partition, avgCom, maxLoad float64, hasRef bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.index = make(map[tagset.Tag][]int, len(d.index))
+	for i, p := range parts {
+		for _, tg := range p.Tags {
+			d.index[tg] = appendUnique(d.index[tg], i)
+		}
+	}
+	d.epoch = epoch
+	d.awaiting = false
+	d.refAvgCom = avgCom
+	d.refMaxLoad = maxLoad
+	d.hasRef = hasRef
+	d.calibrating = false
+	d.uncovered = make(map[tagset.Key]int)
+	d.pendingAdd = make(map[tagset.Key]bool)
 }
 
 // NewDisseminator returns a Disseminator bolt.

@@ -227,6 +227,23 @@ type Config struct {
 	TrendShards     int
 	TrendTasks      int
 
+	// ArchiveDir enables the durability subsystem (internal/archive): the
+	// Tracker and the trend detector stream accepted state into per-period
+	// segment files under this directory, and the pipeline writes periodic
+	// CRC-verified checkpoints from which core.Restore recovers after a
+	// crash or restart. Empty — the batch default — archives nothing.
+	// Requires ArchiveDict.
+	ArchiveDir string
+
+	// ArchiveDict is the tag dictionary the input stream is interned with;
+	// checkpoints persist its contents so a restarted process reproduces
+	// the same Tag identifiers. Required when ArchiveDir is set.
+	ArchiveDict *tagset.Dictionary
+
+	// CheckpointEvery writes a checkpoint every N freshly opened reporting
+	// periods (0: every period). Only meaningful with ArchiveDir.
+	CheckpointEvery int
+
 	// CalibrateRefs replaces the Merger's partition-level reference
 	// quality with the first statistics batch measured on live traffic
 	// after each install. The paper's design (and the default) uses the
@@ -312,6 +329,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("operators: trendShards = %d", c.TrendShards)
 	case c.TrendTasks < 0:
 		return fmt.Errorf("operators: trendTasks = %d", c.TrendTasks)
+	case c.CheckpointEvery < 0:
+		return fmt.Errorf("operators: checkpointEvery = %d", c.CheckpointEvery)
+	case c.ArchiveDir != "" && c.ArchiveDict == nil:
+		return fmt.Errorf("operators: ArchiveDir requires ArchiveDict (the stream's tag dictionary)")
 	}
 	return nil
 }

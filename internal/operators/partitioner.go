@@ -164,6 +164,21 @@ func (m *Merger) MergeCount() int {
 	return m.Merges
 }
 
+// RestorePartitions installs checkpointed partitions as the Merger's
+// current result — the recovery path. Call before the run starts; the
+// Merger then serves Single-Addition requests against the restored
+// assignment exactly as if it had merged it itself.
+func (m *Merger) RestorePartitions(parts []partition.Partition, merges int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	copied := make([]partition.Partition, len(parts))
+	for i, p := range parts {
+		copied[i] = partition.Partition{Tags: append(tagset.Set(nil), p.Tags...), Load: p.Load}
+	}
+	m.current = &partition.Result{Algorithm: m.cfg.Algorithm, Parts: copied}
+	m.Merges = merges
+}
+
 // Execute implements storm.Bolt.
 func (m *Merger) Execute(t storm.Tuple, out storm.Collector) {
 	m.mu.Lock()

@@ -59,6 +59,12 @@ type Tracker struct {
 	// set during topology assembly, read-only once the run starts.
 	emitTrend bool
 
+	// archive receives accepted reports and period seals (SetArchive);
+	// periodHook fires when a brand-new period registers (SetPeriodHook).
+	// Both are set during assembly, read-only once the run starts.
+	archive    TrackerArchive
+	periodHook func(period int64)
+
 	// Received counts all incoming coefficients; Duplicates counts those
 	// that collided with an existing report for the same tagset and period;
 	// Late counts reports dropped because their period was already pruned.
@@ -200,13 +206,20 @@ func (tr *Tracker) Execute(t storm.Tuple, out storm.Collector) {
 func (tr *Tracker) reportOne(period int64, c jaccard.Coefficient, out storm.Collector) {
 	atomic.AddInt64(&tr.Received, 1)
 
-	retained, pruned := tr.reg.ensure(period)
+	retained, fresh, pruned := tr.reg.ensure(period)
 	for _, p := range pruned {
 		tr.prunePeriod(p)
 	}
 	if !retained {
 		atomic.AddInt64(&tr.Late, 1)
 		return
+	}
+	// The period hook fires before this first report of the new period is
+	// recorded: a checkpoint taken inside the hook therefore holds no data
+	// of the new period at all, and the recovery replay (which starts at
+	// the new period's first document) cannot double-count anything.
+	if fresh && tr.periodHook != nil {
+		tr.periodHook(period)
 	}
 
 	key := c.Tags.Key()
@@ -218,27 +231,45 @@ func (tr *Tracker) reportOne(period int64, c jaccard.Coefficient, out storm.Coll
 		atomic.AddInt64(&tr.Late, 1)
 		return
 	}
-	if tr.emitTrend && out != nil && (!dup || updated) {
-		out.Emit(storm.Tuple{Stream: StreamTrend, Values: []interface{}{
-			TrendMsg{Period: period, Coeff: c},
-		}})
+	if !dup || updated {
+		if tr.archive != nil {
+			tr.archive.AppendCoefficient(period, c)
+		}
+		if tr.emitTrend && out != nil {
+			out.Emit(storm.Tuple{Stream: StreamTrend, Values: []interface{}{
+				TrendMsg{Period: period, Coeff: c},
+			}})
+		}
 	}
 }
 
 // prunePeriod evicts one period from every shard and remembers the evicted
 // coefficients in the LRU (newest period wins per pair). Exactly one
 // goroutine prunes a given period: the registry hands each pruned id out
-// once.
+// once. The evicted entries are inserted in tagset-key order — map
+// iteration order would otherwise randomize the LRU's recency list (and,
+// when the LRU is full, which pairs survive), making otherwise
+// deterministic runs diverge.
 func (tr *Tracker) prunePeriod(p int64) {
+	var evicted []topEntry
 	for _, s := range tr.shards {
 		s.mu.Lock()
-		evicted := s.evictPeriod(p)
+		m := s.evictPeriod(p)
 		s.mu.Unlock()
 		if tr.lru != nil {
-			for k, c := range evicted {
-				tr.lru.add(k, c, p)
+			for k, c := range m {
+				evicted = append(evicted, topEntry{ek: entryKey{period: p, key: k}, c: c})
 			}
 		}
+	}
+	if tr.lru != nil {
+		sort.Slice(evicted, func(i, j int) bool { return evicted[i].ek.key < evicted[j].ek.key })
+		for _, e := range evicted {
+			tr.lru.add(e.ek.key, e.c, p)
+		}
+	}
+	if tr.archive != nil {
+		tr.archive.SealPeriod(p)
 	}
 }
 
@@ -426,6 +457,69 @@ func (tr *Tracker) StatsSnapshot() TrackerStats {
 	return st
 }
 
+// ConsistentView returns the top-k coefficients, the retained period ids
+// (ascending) and the structural stats gathered in one pass: the registry
+// read-lock and every shard lock are held simultaneously while the fields
+// are read, so the three views describe the same instant. This is the
+// serving layer's snapshot read — under CPU saturation the piecemeal
+// TopK/Periods/StatsSnapshot calls could be seconds apart, producing
+// snapshots whose fields contradict each other (ROADMAP: snapshot
+// staleness). Writers block only for the copy-out, never for sorting.
+func (tr *Tracker) ConsistentView(k int) (top []jaccard.Coefficient, periods []int64, st TrackerStats) {
+	st = TrackerStats{
+		Shards:     len(tr.shards),
+		TopKBound:  tr.topKBound(),
+		Received:   atomic.LoadInt64(&tr.Received),
+		Duplicates: atomic.LoadInt64(&tr.Duplicates),
+		Late:       atomic.LoadInt64(&tr.Late),
+	}
+
+	tr.reg.mu.RLock()
+	for _, s := range tr.shards {
+		s.mu.Lock()
+	}
+
+	periods = make([]int64, 0, len(tr.reg.known))
+	for p := range tr.reg.known {
+		periods = append(periods, p)
+	}
+	st.RetainedPeriods = len(tr.reg.known)
+	st.PrunedPeriods = tr.reg.pruned
+
+	var cand []jaccard.Coefficient
+	for _, s := range tr.shards {
+		st.Retained += s.entries
+		st.HeapEntries += s.top.Len()
+		st.Rebuilds += s.rebuilds
+		if k > 0 && k <= s.bound {
+			// The maintained heap holds this shard's best min(bound,
+			// entries) coefficients — a superset of its top-k contribution.
+			for _, e := range s.top.entries {
+				cand = append(cand, e.c)
+			}
+		} else {
+			for _, m := range s.periods {
+				for _, c := range m {
+					cand = append(cand, c)
+				}
+			}
+		}
+	}
+
+	for _, s := range tr.shards {
+		s.mu.Unlock()
+	}
+	tr.reg.mu.RUnlock()
+
+	sort.Slice(periods, func(i, j int) bool { return periods[i] < periods[j] })
+	cand = topselect.Select(cand, k, coeffBefore)
+	sortCoefficients(cand)
+	if tr.lru != nil {
+		st.EvictedLen, st.EvictedCap, st.EvictedHits = tr.lru.stats()
+	}
+	return cand, periods, st
+}
+
 // periodRegistry tracks the retained period ids globally, so the retention
 // bound is enforced across shards: a period is pruned everywhere exactly
 // once, and the floor marks everything at or below it as dead so late
@@ -438,25 +532,27 @@ type periodRegistry struct {
 	pruned int64
 }
 
-// ensure registers period and returns whether it is retained, plus the
-// period ids this call decided to prune (each id is handed out exactly
-// once; the caller must evict them from the shards).
-func (r *periodRegistry) ensure(period int64) (retained bool, prune []int64) {
+// ensure registers period and returns whether it is retained, whether this
+// call registered it fresh (the period-hook signal), plus the period ids
+// this call decided to prune (each id is handed out exactly once; the
+// caller must evict them from the shards).
+func (r *periodRegistry) ensure(period int64) (retained, fresh bool, prune []int64) {
 	r.mu.RLock()
 	_, known := r.known[period]
 	r.mu.RUnlock()
 	if known {
-		return true, nil
+		return true, false, nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if period <= r.floor {
-		return false, nil
+		return false, false, nil
 	}
 	if _, known := r.known[period]; known {
-		return true, nil
+		return true, false, nil
 	}
 	r.known[period] = struct{}{}
+	fresh = true
 	if r.keep > 0 {
 		for len(r.known) > r.keep {
 			oldest := period
@@ -474,7 +570,7 @@ func (r *periodRegistry) ensure(period int64) (retained bool, prune []int64) {
 		}
 	}
 	_, retained = r.known[period]
-	return retained, prune
+	return retained, fresh, prune
 }
 
 // entryKey identifies one retained coefficient: a (period, tagset) pair.

@@ -14,14 +14,23 @@
 //
 // Endpoints (all GET, all JSON unless noted):
 //
-//	/topk?k=N            top-N coefficients so far (N capped at Config.TopK)
-//	/pairs/{tagA}/{tagB} latest coefficient reported for the pair
-//	/trends?k=N          top trend deviations of the newest scored period
-//	/trends/{tags...}    live predictor state of one tagset (2+ tags)
-//	/events              SSE stream of trend events as they fire mid-run
-//	/partition           installed partitions: epoch, per-partition tags+load
-//	/stats               full snapshot: counters, quality stats, dataflow
-//	/healthz             liveness plus run state
+//	/topk?k=N             top-N coefficients so far (N capped at Config.TopK)
+//	/pairs/{tagA}/{tagB}  latest coefficient reported for the pair
+//	/trends?k=N           top trend deviations of the newest scored period
+//	/trends/{tags...}     live predictor state of one tagset (2+ tags)
+//	/events               SSE stream of trend events as they fire mid-run
+//	/partition            installed partitions: epoch, per-partition tags+load
+//	/stats                full snapshot: counters, quality stats, dataflow
+//	/healthz              liveness plus run state
+//	/history/periods      reporting periods archived on disk
+//	/history/topk?period=P[&k=N]  top-N coefficients of one archived period
+//	/history/pairs/{tagA}/{tagB}[?period=P]  archived coefficient of a pair
+//
+// The history endpoints serve from the archive directory's segment files
+// (Config.History, an archive.Reader) with a small LRU of decoded
+// segments, so they answer for periods arbitrarily far past the Tracker's
+// retention window — including periods pruned from memory and runs of a
+// previous process. They answer 404 when the pipeline runs unarchived.
 //
 // The trend endpoints require the pipeline to run with Config.Trend; they
 // answer 404 otherwise. /trends serves from the cached snapshot; the
@@ -42,6 +51,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/archive"
 	"repro/internal/core"
 	"repro/internal/jaccard"
 	"repro/internal/partition"
@@ -56,6 +66,11 @@ type Config struct {
 	TopK int
 	// Refresh is the snapshot cache refresh interval. Default 250ms.
 	Refresh time.Duration
+	// History serves the /history endpoints from an archive directory
+	// (nil: the endpoints answer 404). Point it at the directory the
+	// pipeline archives into for live + historical queries from one
+	// surface.
+	History *archive.Reader
 }
 
 // withDefaults fills unset fields.
@@ -163,6 +178,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /partition", s.handlePartition)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /history/periods", s.handleHistoryPeriods)
+	mux.HandleFunc("GET /history/topk", s.handleHistoryTopK)
+	mux.HandleFunc("GET /history/pairs/{tagA}/{tagB}", s.handleHistoryPair)
 	return mux
 }
 
@@ -427,8 +445,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		case <-s.handle.Done():
-			// Drained: no further events can be scored; flush what is
-			// buffered and close the stream.
+			// Drained: no further events can be scored. Wait for the
+			// detector's broker goroutine to fan out everything already
+			// published, then flush what is buffered and close the stream.
+			det.Sync()
 			for {
 				select {
 				case e := <-ch:
@@ -443,6 +463,171 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+}
+
+// history returns the archive reader, writing the shared 404 when the
+// service runs without one.
+func (s *Server) history(w http.ResponseWriter) *archive.Reader {
+	if s.cfg.History == nil {
+		httpError(w, http.StatusNotFound, "archive disabled (core.Config.ArchiveDir)")
+	}
+	return s.cfg.History
+}
+
+// historyPairScanLimit bounds the newest-first segment scan behind
+// /history/pairs without ?period=: a pair that was never reported must
+// not cost a decode of the entire archive per request.
+const historyPairScanLimit = 64
+
+// historyCoefficients renders archived coefficients. Unlike the live
+// path it uses the placeholder-tolerant Names: a segment written by a
+// previous process (or after the last checkpoint) can reference tags the
+// rebuilt dictionary has not re-interned yet, and a history query must
+// render them, not panic.
+func (s *Server) historyCoefficients(in []jaccard.Coefficient) []Coefficient {
+	out := make([]Coefficient, len(in))
+	for i, c := range in {
+		out[i] = Coefficient{Tags: s.dict.Names(c.Tags), J: c.J, CN: c.CN}
+	}
+	return out
+}
+
+// HistoryPeriodsResponse is the /history/periods payload: every reporting
+// period with a segment on disk, ascending — a superset of the retained
+// in-memory periods, surviving both retention pruning and restarts.
+type HistoryPeriodsResponse struct {
+	Periods []int64 `json:"periods"`
+	Count   int     `json:"count"`
+}
+
+func (s *Server) handleHistoryPeriods(w http.ResponseWriter, r *http.Request) {
+	rd := s.history(w)
+	if rd == nil {
+		return
+	}
+	periods, err := rd.Periods()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, HistoryPeriodsResponse{Periods: periods, Count: len(periods)})
+}
+
+// HistoryTopKResponse is the /history/topk payload: one archived period's
+// top coefficients, decoded from its segment file. Torn reports a tail
+// lost to a crash before it was flushed; the coefficients before the tear
+// are served regardless. TrendEvents counts the period's archived trend
+// deviations.
+type HistoryTopKResponse struct {
+	Period      int64         `json:"period"`
+	K           int           `json:"k"`
+	Torn        bool          `json:"torn,omitempty"`
+	TrendEvents int           `json:"trend_events"`
+	Top         []Coefficient `json:"top"`
+}
+
+func (s *Server) handleHistoryTopK(w http.ResponseWriter, r *http.Request) {
+	rd := s.history(w)
+	if rd == nil {
+		return
+	}
+	q := r.URL.Query()
+	period, err := strconv.ParseInt(q.Get("period"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "period must be an integer")
+		return
+	}
+	k := 20
+	if v := q.Get("k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "k must be a positive integer")
+			return
+		}
+		k = n
+	}
+	seg, err := rd.Segment(period)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if seg == nil {
+		httpError(w, http.StatusNotFound, "no archived segment for period")
+		return
+	}
+	top := seg.Coeffs
+	if len(top) > k {
+		top = top[:k]
+	}
+	writeJSON(w, HistoryTopKResponse{
+		Period:      period,
+		K:           k,
+		Torn:        seg.Torn,
+		TrendEvents: len(seg.Trends),
+		Top:         s.historyCoefficients(top),
+	})
+}
+
+// HistoryPairResponse is the /history/pairs payload: the archived
+// coefficient of one pair, from the requested period or — without
+// ?period= — the newest archived period that reported it.
+type HistoryPairResponse struct {
+	Tags   []string `json:"tags"`
+	J      float64  `json:"j"`
+	CN     int64    `json:"cn"`
+	Period int64    `json:"period"`
+}
+
+func (s *Server) handleHistoryPair(w http.ResponseWriter, r *http.Request) {
+	rd := s.history(w)
+	if rd == nil {
+		return
+	}
+	a, okA := s.dict.Lookup(r.PathValue("tagA"))
+	b, okB := s.dict.Lookup(r.PathValue("tagB"))
+	if !okA || !okB {
+		httpError(w, http.StatusNotFound, "unknown tag")
+		return
+	}
+	set := tagset.New(a, b)
+	if set.Len() != 2 {
+		httpError(w, http.StatusBadRequest, "tags must differ")
+		return
+	}
+
+	var (
+		c      jaccard.Coefficient
+		period int64
+		ok     bool
+	)
+	if v := r.URL.Query().Get("period"); v != "" {
+		p, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "period must be an integer")
+			return
+		}
+		seg, err := rd.Segment(p)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		if seg != nil {
+			c, ok = seg.Coefficient(set.Key())
+			period = p
+		}
+	} else {
+		var err error
+		c, period, ok, err = rd.LookupPair(set.Key(), historyPairScanLimit)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+	}
+	if !ok {
+		httpError(w, http.StatusNotFound, "no archived coefficient for pair")
+		return
+	}
+	writeJSON(w, HistoryPairResponse{Tags: s.dict.Names(c.Tags), J: c.J, CN: c.CN, Period: period})
 }
 
 // PartitionInfo is one partition in the /partition payload.
@@ -481,6 +666,11 @@ func (s *Server) partitionInfo(i int, p partition.Partition) PartitionInfo {
 // StatsResponse is the /stats payload: the full snapshot with tag sets
 // rendered to strings.
 type StatsResponse struct {
+	// SnapshotAgeMS is how old the served snapshot is (milliseconds since
+	// its consistent Tracker pass, monotonic clock). Under CPU saturation
+	// the refresh loop can stall on operator locks; this surfaces it.
+	SnapshotAgeMS int64 `json:"snapshot_age_ms"`
+
 	DocsProcessed     int64 `json:"docs_processed"`
 	DocsBeforeInstall int64 `json:"docs_before_install"`
 	NotifiedDocs      int64 `json:"notified_docs"`
@@ -574,6 +764,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, StatsResponse{
+		SnapshotAgeMS:     time.Since(snap.TakenAt).Milliseconds(),
 		DocsProcessed:     snap.DocsProcessed,
 		DocsBeforeInstall: snap.DocsBeforeInstall,
 		NotifiedDocs:      snap.NotifiedDocs,

@@ -1,0 +1,175 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/core"
+	"repro/internal/stream"
+	"repro/internal/tagset"
+	"repro/internal/twitgen"
+)
+
+// TestHistoryEndpoints is the end-to-end test of the archive serving path:
+// a pipeline with a tight retention window runs an archived stream to
+// completion, and /history answers for periods that were pruned from the
+// Tracker's memory long before the run ended — including a pair lookup far
+// past both the pruning floor and the in-memory evicted LRU.
+func TestHistoryEndpoints(t *testing.T) {
+	dict := tagset.NewDictionary()
+	gcfg := twitgen.Default()
+	gcfg.Seed = 23
+	gcfg.TPS = 1000
+	gcfg.TaggedFraction = 0.5
+	gcfg.Topics = 40
+	gcfg.TagsPerTopic = 8
+	gen, err := twitgen.New(gcfg, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := gen.Generate(36000) // 36 virtual seconds ≈ 7 reporting periods
+
+	cfg := core.DefaultConfig()
+	cfg.K = 4
+	cfg.P = 3
+	cfg.WindowSpan = stream.Seconds(5)
+	cfg.ReportEvery = stream.Seconds(5)
+	cfg.StatsEvery = 500
+	cfg.KeepPeriods = 2
+	cfg.EvictedPairs = 0 // force /history to be the only answer for old pairs
+	cfg.NoSeries = true
+	cfg.Trend = true
+	cfg.TrendMinSupport = 2
+	cfg.ArchiveDir = t.TempDir()
+	cfg.ArchiveDict = dict
+
+	pipe, err := core.NewPipeline(cfg, core.SliceSource(docs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := pipe.Start()
+	srv := New(pipe, h, dict, Config{
+		TopK:    50,
+		Refresh: 5 * time.Millisecond,
+		History: archive.OpenReader(cfg.ArchiveDir),
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	h.Wait()
+	if err := pipe.ArchiveErr(); err != nil {
+		t.Fatalf("archive error: %v", err)
+	}
+
+	var periods HistoryPeriodsResponse
+	getJSON(t, ts.Client(), ts.URL+"/history/periods", &periods)
+	if periods.Count < 4 {
+		t.Fatalf("archived periods = %v; need >= 4 to cross the pruning floor", periods.Periods)
+	}
+
+	// The oldest archived period must be below the in-memory pruning
+	// floor: the Tracker no longer holds it, only the archive does.
+	oldest := periods.Periods[0]
+	retained := pipe.Tracker().Periods()
+	for _, p := range retained {
+		if p == oldest {
+			t.Fatalf("oldest archived period %d still retained in memory %v; assertion vacuous", oldest, retained)
+		}
+	}
+
+	var topk HistoryTopKResponse
+	getJSON(t, ts.Client(), ts.URL+"/history/topk?period="+itoa(oldest)+"&k=10", &topk)
+	if topk.Period != oldest || len(topk.Top) == 0 {
+		t.Fatalf("history topk = %+v", topk)
+	}
+	if topk.Torn {
+		t.Error("cleanly drained segment reported torn")
+	}
+	for i := 1; i < len(topk.Top); i++ {
+		if topk.Top[i].J > topk.Top[i-1].J {
+			t.Fatalf("history topk not ranked: %+v", topk.Top)
+		}
+	}
+	if len(topk.Top) > 10 {
+		t.Fatalf("k not applied: %d results", len(topk.Top))
+	}
+
+	// The top pair of the pruned period must answer on the history pair
+	// endpoint, pinned to that period and via the newest-first scan.
+	pair := topk.Top[0]
+	var byPeriod HistoryPairResponse
+	getJSON(t, ts.Client(), ts.URL+"/history/pairs/"+pair.Tags[0]+"/"+pair.Tags[1]+"?period="+itoa(oldest), &byPeriod)
+	if byPeriod.Period != oldest || byPeriod.J != pair.J || byPeriod.CN != pair.CN {
+		t.Fatalf("pinned pair lookup = %+v, want %+v in period %d", byPeriod, pair, oldest)
+	}
+	var newest HistoryPairResponse
+	getJSON(t, ts.Client(), ts.URL+"/history/pairs/"+pair.Tags[0]+"/"+pair.Tags[1], &newest)
+	if newest.Period < oldest {
+		t.Fatalf("newest-first lookup returned period %d < %d", newest.Period, oldest)
+	}
+
+	// Unknown period and unknown tag answer 404.
+	for _, url := range []string{
+		ts.URL + "/history/topk?period=99999",
+		ts.URL + "/history/pairs/no-such-tag/other",
+	} {
+		resp, err := ts.Client().Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: status %d, want 404", url, resp.StatusCode)
+		}
+	}
+
+	// /stats exposes the snapshot age of the cached consistent pass.
+	var stats StatsResponse
+	getJSON(t, ts.Client(), ts.URL+"/stats", &stats)
+	if stats.SnapshotAgeMS < 0 {
+		t.Errorf("snapshot_age_ms = %d", stats.SnapshotAgeMS)
+	}
+}
+
+// TestHistoryDisabled verifies the history endpoints 404 when the service
+// runs without an archive reader.
+func TestHistoryDisabled(t *testing.T) {
+	dict := tagset.NewDictionary()
+	gcfg := twitgen.Default()
+	gcfg.Seed = 5
+	gen, err := twitgen.New(gcfg, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.WindowSpan = stream.Minutes(1)
+	cfg.ReportEvery = stream.Minutes(1)
+	pipe, err := core.NewPipeline(cfg, core.GeneratorSource(gen.Next, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := pipe.Start()
+	srv := New(pipe, h, dict, Config{TopK: 10, Refresh: 5 * time.Millisecond})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	h.Wait()
+
+	for _, path := range []string{"/history/periods", "/history/topk?period=1", "/history/pairs/a/b"} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s without archive: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func itoa(v int64) string { return strconv.FormatInt(v, 10) }

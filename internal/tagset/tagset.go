@@ -74,6 +74,38 @@ func (d *Dictionary) Len() int {
 	return len(d.byID)
 }
 
+// Name returns the string form of t, or a stable "#<id>" placeholder when
+// t was never interned in this dictionary. This is the render-safe variant
+// for data read back from an archive: a segment written by a previous
+// process (or after the last checkpoint) can reference tags the rebuilt
+// dictionary does not know yet, and rendering them must not panic.
+func (d *Dictionary) Name(t Tag) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if int(t) < len(d.byID) {
+		return d.byID[t]
+	}
+	return fmt.Sprintf("#%d", uint32(t))
+}
+
+// Names maps a Set to strings via Name (placeholders for unknown tags).
+func (d *Dictionary) Names(s Set) []string {
+	out := make([]string, 0, s.Len())
+	for _, t := range s {
+		out = append(out, d.Name(t))
+	}
+	return out
+}
+
+// Snapshot returns every interned tag string in identifier order, so a
+// dictionary can be persisted and rebuilt with identical Tag assignments
+// (intern the returned strings, in order, into a fresh Dictionary).
+func (d *Dictionary) Snapshot() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return append([]string(nil), d.byID...)
+}
+
 // InternSet interns every string in tags and returns the canonical Tagset.
 func (d *Dictionary) InternSet(tags []string) Set {
 	ids := make([]Tag, 0, len(tags))

@@ -260,3 +260,37 @@ func TestQuickSubsetsCount(t *testing.T) {
 		}
 	}
 }
+
+func TestDictionaryNameUnknown(t *testing.T) {
+	d := NewDictionary()
+	a := d.Intern("alpha")
+	if got := d.Name(a); got != "alpha" {
+		t.Errorf("Name(known) = %q", got)
+	}
+	// Tags beyond the interned range render as placeholders instead of
+	// panicking — the /history path can see ids from a previous process.
+	if got := d.Name(Tag(99)); got != "#99" {
+		t.Errorf("Name(unknown) = %q", got)
+	}
+	if got := d.Names(New(a, Tag(7))); len(got) != 2 || got[1] != "#7" {
+		t.Errorf("Names = %v", got)
+	}
+}
+
+func TestDictionarySnapshotRoundTrip(t *testing.T) {
+	d := NewDictionary()
+	for _, s := range []string{"x", "y", "z"} {
+		d.Intern(s)
+	}
+	rebuilt := NewDictionary()
+	for _, s := range d.Snapshot() {
+		rebuilt.Intern(s)
+	}
+	for _, s := range []string{"x", "y", "z"} {
+		want, _ := d.Lookup(s)
+		got, ok := rebuilt.Lookup(s)
+		if !ok || got != want {
+			t.Errorf("rebuilt id for %q = %d (ok=%v), want %d", s, got, ok, want)
+		}
+	}
+}

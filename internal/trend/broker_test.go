@@ -1,0 +1,103 @@
+package trend
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBrokerSlowSubscribers verifies the fan-out broker's contract: any
+// number of stalled subscribers costs the scoring path one channel send,
+// the stalled subscribers' losses are counted as drops, and a draining
+// subscriber receives events in scoring order.
+func TestBrokerSlowSubscribers(t *testing.T) {
+	s := mustStream(t, StreamConfig{Alpha: 0.5, MinSupport: 1, Threshold: 0})
+
+	// Three subscribers that never drain, with minimal buffers, plus one
+	// that drains everything.
+	var cancels []func()
+	for i := 0; i < 3; i++ {
+		_, cancel := s.Subscribe(1)
+		cancels = append(cancels, cancel)
+	}
+	live, cancelLive := s.Subscribe(512)
+	cancels = append(cancels, cancelLive)
+	defer func() {
+		for _, c := range cancels {
+			c()
+		}
+	}()
+
+	const events = 200
+	s.Observe(1, coeff(0.5, 5, 1, 2)) // establish: no event
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for p := int64(2); p <= events+1; p++ {
+			s.Observe(p, coeff(0.5+0.4*float64(p%2), 5, 1, 2))
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("scoring path blocked behind stalled subscribers")
+	}
+	s.Sync()
+
+	var periods []int64
+	for {
+		select {
+		case e := <-live:
+			periods = append(periods, e.Period)
+		default:
+			goto drained
+		}
+	}
+drained:
+	if len(periods) == 0 {
+		t.Fatal("draining subscriber received nothing")
+	}
+	for i := 1; i < len(periods); i++ {
+		if periods[i] <= periods[i-1] {
+			t.Fatalf("events out of order: %v", periods[:i+1])
+		}
+	}
+	st := s.StatsSnapshot()
+	if st.Dropped == 0 {
+		t.Error("stalled subscribers produced no counted drops")
+	}
+	if st.Published == 0 {
+		t.Error("no events counted as published")
+	}
+}
+
+// TestBrokerRestart verifies the broker stops with the last subscriber and
+// a fresh subscription starts a new one that delivers again.
+func TestBrokerRestart(t *testing.T) {
+	s := mustStream(t, StreamConfig{Alpha: 0.5, MinSupport: 1, Threshold: 0})
+	ch, cancel := s.Subscribe(8)
+	s.Observe(1, coeff(0.2, 5, 1, 2))
+	s.Observe(2, coeff(0.9, 5, 1, 2))
+	s.Sync()
+	select {
+	case <-ch:
+	default:
+		t.Fatal("first subscription received nothing")
+	}
+	cancel()
+
+	// No subscribers: events are discarded without touching a broker.
+	s.Observe(3, coeff(0.1, 5, 1, 2))
+
+	ch2, cancel2 := s.Subscribe(8)
+	defer cancel2()
+	s.Observe(4, coeff(0.8, 5, 1, 2))
+	s.Sync()
+	select {
+	case e := <-ch2:
+		if e.Period != 4 {
+			t.Fatalf("restarted broker delivered period %d, want 4", e.Period)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("restarted broker delivered nothing")
+	}
+}

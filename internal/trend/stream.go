@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/jaccard"
 	"repro/internal/tagset"
@@ -140,9 +141,32 @@ type Stream struct {
 	published  int64 // atomic
 	dropped    int64 // atomic
 
+	// Subscriptions are served by a single broker goroutine: publish hands
+	// an event to the broker channel with one non-blocking send, and the
+	// broker fans it out to the per-subscriber buffered channels. However
+	// many (and however slow) the subscribers, the dataflow's cost per
+	// scored event is one channel operation. The broker starts with the
+	// first subscriber and stops after the last cancels.
 	subMu   sync.Mutex
 	subs    map[int]chan Event
 	nextSub int
+	broker  atomic.Value // chan brokerFrame; nil-valued when no broker runs
+
+	// archive receives every scored deviation and period seals
+	// (SetArchive); set before the run starts, read-only afterwards.
+	archive EventArchive
+}
+
+// brokerBuffer sizes the broker's intake channel; events beyond it are
+// dropped (counted) rather than ever blocking the scoring path.
+const brokerBuffer = 1024
+
+// brokerFrame is one unit of broker work: an event to fan out, a sync
+// barrier to acknowledge, or a stop signal.
+type brokerFrame struct {
+	ev   Event
+	sync chan struct{}
+	stop bool
 }
 
 // NewStream returns a streaming detector, validating the configuration.
@@ -211,6 +235,9 @@ func (s *Stream) Observe(period int64, c jaccard.Coefficient) {
 			sh.evictPeriod(p)
 			sh.mu.Unlock()
 		}
+		if s.archive != nil {
+			s.archive.SealPeriod(p)
+		}
 	}
 	if !retained {
 		// At or below the pruning floor: scoring would resurrect evicted
@@ -238,6 +265,9 @@ func (s *Stream) Observe(period int64, c jaccard.Coefficient) {
 		return
 	}
 	atomic.AddInt64(&s.scored, 1)
+	if s.archive != nil {
+		s.archive.AppendEvent(ev)
+	}
 	for {
 		cur := atomic.LoadInt64(&s.latest)
 		if period <= cur || atomic.CompareAndSwapInt64(&s.latest, cur, period) {
@@ -283,10 +313,39 @@ func (s *Stream) ensurePeriod(period int64) (retained bool, prune []int64) {
 	return retained, prune
 }
 
-// publish delivers ev to every subscriber, dropping per subscriber when its
-// buffer is full — a slow SSE client can lose events but never stalls the
-// dataflow.
+// publish hands ev to the broker goroutine with a single non-blocking
+// send: N slow subscribers cost the scoring path one channel operation.
+// With no live subscribers (no broker) the event is discarded outright.
 func (s *Stream) publish(ev Event) {
+	ch, _ := s.broker.Load().(chan brokerFrame)
+	if ch == nil {
+		return
+	}
+	select {
+	case ch <- brokerFrame{ev: ev}:
+	default:
+		atomic.AddInt64(&s.dropped, 1)
+	}
+}
+
+// runBroker is the single fan-out goroutine: it drains the intake channel
+// in order, delivering each event to every subscriber (dropping per
+// subscriber on a full buffer), acknowledging sync barriers, and exiting
+// on the stop frame the last cancellation enqueues.
+func (s *Stream) runBroker(ch chan brokerFrame) {
+	for f := range ch {
+		switch {
+		case f.stop:
+			return
+		case f.sync != nil:
+			close(f.sync)
+		default:
+			s.fanout(f.ev)
+		}
+	}
+}
+
+func (s *Stream) fanout(ev Event) {
 	s.subMu.Lock()
 	delivered := false
 	for _, ch := range s.subs {
@@ -303,10 +362,34 @@ func (s *Stream) publish(ev Event) {
 	}
 }
 
+// Sync blocks until every event handed to the broker before the call has
+// been fanned out (or dropped). The end-of-run SSE drain uses it: after the
+// pipeline drains, Sync guarantees the subscriber channel holds everything
+// that will ever arrive. A bounded wait protects against a broker stopped
+// by a concurrent last-subscriber cancellation.
+func (s *Stream) Sync() {
+	ch, _ := s.broker.Load().(chan brokerFrame)
+	if ch == nil {
+		return
+	}
+	done := make(chan struct{})
+	select {
+	case ch <- brokerFrame{sync: done}:
+	case <-time.After(2 * time.Second):
+		return
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+	}
+}
+
 // Subscribe registers an event subscriber with the given channel buffer
 // (<= 0 uses 64) and returns the channel plus a cancel function. Cancel
-// closes the channel; events scored while the buffer is full are dropped
-// for this subscriber only.
+// closes the channel; events fanned out while the buffer is full are
+// dropped for this subscriber only. Delivery is asynchronous through the
+// broker goroutine: an event is visible on the channel shortly after (not
+// during) the Observe call that scored it, in scoring order.
 func (s *Stream) Subscribe(buffer int) (<-chan Event, func()) {
 	if buffer <= 0 {
 		buffer = 64
@@ -316,12 +399,26 @@ func (s *Stream) Subscribe(buffer int) (<-chan Event, func()) {
 	id := s.nextSub
 	s.nextSub++
 	s.subs[id] = ch
+	if len(s.subs) == 1 {
+		b := make(chan brokerFrame, brokerBuffer)
+		s.broker.Store(b)
+		go s.runBroker(b)
+	}
 	s.subMu.Unlock()
 	var once sync.Once
 	return ch, func() {
 		once.Do(func() {
 			s.subMu.Lock()
 			delete(s.subs, id)
+			if len(s.subs) == 0 {
+				if b, _ := s.broker.Load().(chan brokerFrame); b != nil {
+					s.broker.Store((chan brokerFrame)(nil))
+					// The stop frame queues behind any undelivered events;
+					// sent from a goroutine because the intake may be full
+					// and fanout needs subMu, which this callback holds.
+					go func() { b <- brokerFrame{stop: true} }()
+				}
+			}
 			s.subMu.Unlock()
 			close(ch)
 		})

@@ -1,0 +1,178 @@
+package trend
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/tagset"
+)
+
+// EventArchive receives the streaming detector's durable-log stream: every
+// scored deviation as it happens, plus a seal when retention prunes a
+// period. Implemented by archive.Writer. Appends run on the Observe path,
+// so implementations must be cheap and thread-safe.
+type EventArchive interface {
+	AppendEvent(ev Event)
+	SealPeriod(period int64)
+}
+
+// SetArchive attaches the durable-log sink. Call before the run starts.
+func (s *Stream) SetArchive(a EventArchive) { s.archive = a }
+
+// TrendPredictor is one tagset's predictor in a StreamState export.
+type TrendPredictor struct {
+	Tags        tagset.Set
+	Expectation float64
+	Base        float64
+	Period      int64
+	Seen        int
+}
+
+// PeriodTrendEvents is one period's scored events in a StreamState export,
+// sorted by tagset key for deterministic encoding.
+type PeriodTrendEvents struct {
+	Period int64
+	Events []Event
+}
+
+// StreamState is the streaming detector's restartable state, produced by
+// ExportState and consumed by ImportState on a fresh Stream. Like
+// operators.TrackerState it carries only sealed information: an export cut
+// at beforePeriod holds no trace of any period at or beyond the cut —
+// predictors that already advanced into the cut period are rolled back one
+// step (their base is exactly the pre-cut expectation), so replaying the
+// stream from the cut's first document re-derives the uninterrupted state.
+type StreamState struct {
+	Predictors []TrendPredictor    // sorted by tagset key
+	Periods    []PeriodTrendEvents // ascending period order
+
+	Floor  int64
+	Pruned int64
+	Latest int64 // math.MinInt64 before the first scored event
+
+	Scored     int64
+	Filtered   int64
+	OutOfOrder int64
+	Late       int64
+	Published  int64
+	Dropped    int64
+}
+
+// ExportState copies the detector's restartable state restricted to periods
+// strictly before beforePeriod (pass math.MaxInt64 for everything). A
+// predictor whose newest observed period is the cut period is exported as
+// its pre-cut self: expectation back to the base it scored the cut against,
+// period one below the cut, seen decremented — the next replayed
+// observation re-advances it identically. A predictor established in the
+// cut period is dropped (the replay re-establishes it).
+func (s *Stream) ExportState(beforePeriod int64) StreamState {
+	st := StreamState{
+		Scored:     atomic.LoadInt64(&s.scored),
+		Filtered:   atomic.LoadInt64(&s.filtered),
+		OutOfOrder: atomic.LoadInt64(&s.outOfOrder),
+		Late:       atomic.LoadInt64(&s.late),
+		Published:  atomic.LoadInt64(&s.published),
+		Dropped:    atomic.LoadInt64(&s.dropped),
+	}
+	s.reg.mu.Lock()
+	periods := make([]int64, 0, len(s.reg.known))
+	for p := range s.reg.known {
+		if p < beforePeriod {
+			periods = append(periods, p)
+		}
+	}
+	st.Floor = s.reg.floor
+	st.Pruned = s.reg.pruned
+	s.reg.mu.Unlock()
+	sort.Slice(periods, func(i, j int) bool { return periods[i] < periods[j] })
+
+	st.Latest = atomic.LoadInt64(&s.latest)
+	if st.Latest >= beforePeriod {
+		// The newest scored period is being cut; the replay will re-raise
+		// the sentinel as it re-scores the cut period.
+		st.Latest = beforePeriod - 1
+	}
+
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for key, p := range sh.preds {
+			switch {
+			case p.period < beforePeriod:
+				st.Predictors = append(st.Predictors, TrendPredictor{
+					Tags: key.Set(), Expectation: p.exp, Base: p.base,
+					Period: p.period, Seen: p.seen,
+				})
+			case p.seen <= 1:
+				// Established in the cut period: nothing to keep.
+			default:
+				st.Predictors = append(st.Predictors, TrendPredictor{
+					Tags: key.Set(), Expectation: p.base, Base: p.base,
+					Period: beforePeriod - 1, Seen: p.seen - 1,
+				})
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(st.Predictors, func(i, j int) bool {
+		return st.Predictors[i].Tags.Key() < st.Predictors[j].Tags.Key()
+	})
+
+	for _, p := range periods {
+		pe := PeriodTrendEvents{Period: p}
+		for _, sh := range s.shards {
+			sh.mu.Lock()
+			for _, ev := range sh.events[p] {
+				pe.Events = append(pe.Events, ev)
+			}
+			sh.mu.Unlock()
+		}
+		sort.Slice(pe.Events, func(i, j int) bool {
+			return pe.Events[i].Tags.Key() < pe.Events[j].Tags.Key()
+		})
+		st.Periods = append(st.Periods, pe)
+	}
+	return st
+}
+
+// ImportState loads an exported state into a freshly constructed Stream.
+// It must run before the pipeline starts; the per-period top-trends heaps
+// are rebuilt as the events are re-recorded.
+func (s *Stream) ImportState(st StreamState) {
+	s.reg.mu.Lock()
+	s.reg.floor = st.Floor
+	s.reg.pruned = st.Pruned
+	for _, pe := range st.Periods {
+		s.reg.known[pe.Period] = struct{}{}
+	}
+	s.reg.mu.Unlock()
+	atomic.StoreInt64(&s.latest, st.Latest)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.floor = st.Floor
+		sh.mu.Unlock()
+	}
+	for _, p := range st.Predictors {
+		key := p.Tags.Key()
+		sh := s.shardOf(key)
+		sh.mu.Lock()
+		sh.preds[key] = &streamPredictor{
+			base: p.Base, exp: p.Expectation, period: p.Period, seen: p.Seen,
+		}
+		sh.mu.Unlock()
+	}
+	for _, pe := range st.Periods {
+		for _, ev := range pe.Events {
+			key := ev.Tags.Key()
+			sh := s.shardOf(key)
+			sh.mu.Lock()
+			sh.record(pe.Period, key, ev)
+			sh.mu.Unlock()
+		}
+	}
+	atomic.StoreInt64(&s.scored, st.Scored)
+	atomic.StoreInt64(&s.filtered, st.Filtered)
+	atomic.StoreInt64(&s.outOfOrder, st.OutOfOrder)
+	atomic.StoreInt64(&s.late, st.Late)
+	atomic.StoreInt64(&s.published, st.Published)
+	atomic.StoreInt64(&s.dropped, st.Dropped)
+}

@@ -169,6 +169,9 @@ func TestStreamSubscribeThreshold(t *testing.T) {
 	s.Observe(1, coeff(0.5, 5, 1, 2))
 	s.Observe(2, coeff(0.6, 5, 1, 2)) // score 0.1 < threshold: not published
 	s.Observe(3, coeff(0.1, 5, 1, 2)) // score |0.1-0.55| = 0.45: published
+	// Delivery is asynchronous through the broker goroutine; Sync blocks
+	// until everything published above has been fanned out.
+	s.Sync()
 	select {
 	case e := <-ch:
 		if e.Period != 3 || e.Rising {
