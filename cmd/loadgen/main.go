@@ -1,0 +1,119 @@
+// Command loadgen is the sustained-load benchmark harness: it pushes a
+// named synthetic workload suite through the pipeline — in-process, over a
+// loopback HTTP server, or against an already-running tagcorrd — while
+// concurrent query loops hammer /topk, /trends, /pairs and /history, and
+// writes a schema-versioned BENCH_<suite>.json report (ingest docs/sec,
+// per-endpoint latency quantiles, snapshot age, checkpoint stall, RSS).
+//
+//	loadgen -suite smoke                      # the CI suite, <60s
+//	loadgen -suite all -out bench/            # full capacity run
+//	loadgen -suite steady -mode http          # same pipeline, over TCP
+//	loadgen -suite steady -target http://host:8080 -duration 60s
+//	loadgen -suite smoke -baseline BENCH_smoke.json   # regression gate
+//
+// With -baseline, loadgen exits non-zero when ingest throughput regressed
+// more than -max-regress (default 25%) against the baseline report — the
+// CI gate. Every suite is deterministic per -seed: equal seeds generate
+// byte-identical document streams, so BENCH files form a comparable
+// trajectory across commits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/load"
+)
+
+func main() {
+	var (
+		suite      = flag.String("suite", "smoke", "workload suite: "+strings.Join(load.Names(), ", ")+", or all")
+		mode       = flag.String("mode", "inproc", "local driver: inproc (direct handler calls) or http (loopback TCP)")
+		target     = flag.String("target", "", "aim at a running tagcorrd base URL instead of a local pipeline")
+		seed       = flag.Int64("seed", 1, "generator seed (equal seeds give byte-identical streams)")
+		docs       = flag.Int("docs", 0, "override the suite's document count (0: suite default)")
+		workers    = flag.Int("workers", 0, "override per-endpoint query workers (0: suite default)")
+		duration   = flag.Duration("duration", 30*time.Second, "measurement window with -target")
+		out        = flag.String("out", ".", "directory BENCH_<suite>.json reports are written into")
+		baseline   = flag.String("baseline", "", "BENCH report to gate ingest throughput against")
+		maxRegress = flag.Float64("max-regress", 0.25, "maximum allowed ingest throughput regression vs -baseline")
+	)
+	flag.Parse()
+
+	var suites []load.Suite
+	if *suite == "all" {
+		suites = load.Suites()
+	} else {
+		s, ok := load.Lookup(*suite)
+		if !ok {
+			log.Fatalf("loadgen: unknown suite %q (have: %s, all)", *suite, strings.Join(load.Names(), ", "))
+		}
+		suites = []load.Suite{s}
+	}
+	if *target != "" && *suite == "all" {
+		log.Fatalf("loadgen: -target measures the one running daemon; pick a single suite")
+	}
+
+	opt := load.Options{
+		Mode:         load.Mode(*mode),
+		Target:       *target,
+		Seed:         *seed,
+		Docs:         *docs,
+		QueryWorkers: *workers,
+		Duration:     *duration,
+	}
+	if opt.Mode != load.ModeInproc && opt.Mode != load.ModeHTTP {
+		log.Fatalf("loadgen: -mode %q (want inproc or http)", *mode)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatalf("loadgen: -out: %v", err)
+	}
+
+	var reports []*load.Report
+	for _, s := range suites {
+		log.Printf("loadgen: suite %s (%s): %d docs, seed %d", s.Name, s.Description, s.Docs, *seed)
+		rep, err := load.Run(s, opt)
+		if err != nil {
+			log.Fatalf("loadgen: suite %s: %v", s.Name, err)
+		}
+		if err := rep.Validate(); err != nil {
+			log.Fatalf("loadgen: suite %s produced an invalid report: %v", s.Name, err)
+		}
+		path, err := rep.WriteFile(*out)
+		if err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		log.Printf("loadgen: suite %s: %.0f docs/s over %.1fs -> %s",
+			s.Name, rep.IngestDocsPerSec, rep.DurationSec, path)
+		reports = append(reports, rep)
+	}
+
+	fmt.Print(load.Table(reports))
+
+	if *baseline != "" {
+		base, err := load.ReadReport(*baseline)
+		if err != nil {
+			log.Fatalf("loadgen: baseline: %v", err)
+		}
+		gated := false
+		for _, rep := range reports {
+			if rep.Suite != base.Suite {
+				continue
+			}
+			gated = true
+			if err := load.CompareIngest(base, rep, *maxRegress); err != nil {
+				log.Fatalf("loadgen: GATE FAILED: %v", err)
+			}
+			log.Printf("loadgen: gate ok: %.0f docs/s vs baseline %.0f (floor %.0f)",
+				rep.IngestDocsPerSec, base.IngestDocsPerSec, base.IngestDocsPerSec*(1-*maxRegress))
+		}
+		if !gated {
+			log.Fatalf("loadgen: baseline suite %q was not among the suites run", base.Suite)
+		}
+	}
+	os.Exit(0)
+}

@@ -101,6 +101,13 @@ func main() {
 	cfg.NoSeries = true
 	cfg.TrackerShards = *shards
 	cfg.EvictedPairs = *evicted
+	if *periods == 0 && *evicted > 0 {
+		// Unbounded retention never prunes, so there is nothing for the
+		// evicted-pair LRU to catch; drop it rather than failing validation
+		// on the flag default.
+		log.Printf("tagcorrd: -keep-periods 0 retains everything; disabling -evicted-pairs %d", *evicted)
+		cfg.EvictedPairs = 0
+	}
 	cfg.SpoutPending = *pending
 	// Hot-path fan-out: several Tracker tasks share the one sharded
 	// Tracker, and Disseminator→Calculator traffic ships in batches.

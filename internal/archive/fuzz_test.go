@@ -1,0 +1,163 @@
+package archive
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/jaccard"
+	"repro/internal/tagset"
+	"repro/internal/trend"
+)
+
+const fuzzPeriod int64 = 7
+
+// realSegment builds a segment through the production Writer — the corpus
+// anchor that keeps the fuzzer exploring mutations of genuine framing
+// rather than only random bytes.
+func realSegment(tb testing.TB) []byte {
+	tb.Helper()
+	dir := tb.TempDir()
+	w, err := OpenWriter(dir)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	pair := tagset.FromSorted([]tagset.Tag{1, 2})
+	w.AppendCoefficient(fuzzPeriod, jaccard.Coefficient{Tags: pair, J: 0.5, CN: 3})
+	w.AppendCoefficient(fuzzPeriod, jaccard.Coefficient{Tags: pair, J: 0.5, CN: 9}) // CN upgrade
+	w.AppendCoefficient(fuzzPeriod, jaccard.Coefficient{
+		Tags: tagset.FromSorted([]tagset.Tag{3, 4, 5}), J: 0.25, CN: 2,
+	})
+	w.AppendEvent(trend.Event{
+		Tags: pair, Period: fuzzPeriod, Predicted: 0.2, Observed: 0.6, Score: 2.5, Rising: true, CN: 9,
+	})
+	w.Close()
+	data, err := os.ReadFile(filepath.Join(dir, segmentName(fuzzPeriod)))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+// FuzzSegmentRecord throws arbitrary bytes at the segment decoder — the
+// code that reads files a crashed process left behind, so it must accept
+// anything. Checked invariants:
+//
+//   - decoding never panics and never errors (corruption is data, not
+//     failure);
+//   - a clean decode (Torn == false) means the framing walk consumed the
+//     whole file, and a short framing walk always reports Torn;
+//   - every record the framing walk accepts round-trips: re-encoding
+//     kind+payload reproduces the input bytes exactly;
+//   - reopening the bytes for append (the crash-recovery path) truncates
+//     to a framing-valid prefix that still starts with the header.
+func FuzzSegmentRecord(f *testing.F) {
+	real := realSegment(f)
+	f.Add(real)
+	f.Add(real[:len(real)-3])             // torn tail: mid-record truncation
+	f.Add(real[:17])                      // torn tail: header plus one stray byte
+	f.Add([]byte{})                       // empty file
+	f.Add([]byte(segMagic))               // header-only torn file
+	f.Add(bytes.Repeat([]byte{0xff}, 64)) // foreign garbage
+
+	// Valid header, then a record claiming a huge payload length: the CRC
+	// over the header is what stops a corrupted length from re-framing the
+	// stream.
+	hdr := append([]byte(segMagic), make([]byte, 8)...)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(fuzzPeriod))
+	huge := append(append([]byte{}, hdr...), recCoeff)
+	huge = binary.LittleEndian.AppendUint32(huge, 1<<30)
+	f.Add(append(huge, 0xde, 0xad, 0xbe, 0xef))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seg := decodeSegment(data, fuzzPeriod) // must not panic
+		if seg == nil {
+			t.Fatal("decodeSegment returned nil")
+		}
+
+		valid := validSegmentPrefix(data, fuzzPeriod)
+		if valid > int64(len(data)) {
+			t.Fatalf("valid prefix %d exceeds input length %d", valid, len(data))
+		}
+		if !seg.Torn && len(data) > 0 && valid != int64(len(data)) {
+			t.Fatalf("decode reported clean but framing stops at %d of %d bytes", valid, len(data))
+		}
+		if valid < int64(len(data)) && len(data) >= 16 &&
+			string(data[:8]) == segMagic &&
+			int64(binary.LittleEndian.Uint64(data[8:16])) == fuzzPeriod &&
+			!seg.Torn {
+			t.Fatalf("torn tail at %d of %d bytes not reported", valid, len(data))
+		}
+
+		// Walk the frames the decoder accepted; each must round-trip.
+		if valid >= 16 {
+			off := 16
+			for int64(off) < valid {
+				kind, payload, next, ok := readRecord(data, off)
+				if !ok {
+					t.Fatalf("record at %d inside valid prefix %d does not decode", off, valid)
+				}
+				if rt := appendRecord(nil, kind, payload); !bytes.Equal(rt, data[off:next]) {
+					t.Fatalf("record at %d does not round-trip: %x vs %x", off, rt, data[off:next])
+				}
+				off = next
+			}
+			if int64(off) != valid {
+				t.Fatalf("framing walk ended at %d, validSegmentPrefix said %d", off, valid)
+			}
+		}
+
+		// Crash-recovery path: reopening for append must leave a file whose
+		// bytes are framing-valid end to end and headed correctly.
+		path := filepath.Join(t.TempDir(), segmentName(fuzzPeriod))
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s := openSegmentFile(path, fuzzPeriod)
+		if s.err != nil {
+			t.Fatalf("openSegmentFile: %v", s.err)
+		}
+		s.f.Close()
+		after, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(after) < 16 {
+			t.Fatalf("reopened segment is %d bytes, want >= 16 (header)", len(after))
+		}
+		if got := validSegmentPrefix(after, fuzzPeriod); got != int64(len(after)) {
+			t.Fatalf("reopened segment still torn: valid prefix %d of %d bytes", got, len(after))
+		}
+	})
+}
+
+// TestDecodeSegmentTornTail pins the torn-tail contract on the real
+// segment at every truncation point — the deterministic counterpart of the
+// fuzz target, run on every `go test`.
+func TestDecodeSegmentTornTail(t *testing.T) {
+	data := realSegment(t)
+	full := decodeSegment(data, fuzzPeriod)
+	if full.Torn {
+		t.Fatal("writer-produced segment decodes as torn")
+	}
+	if len(full.Coeffs) != 2 { // CN upgrade dedupes the first pair
+		t.Fatalf("coeffs = %d, want 2", len(full.Coeffs))
+	}
+	if len(full.Trends) != 1 {
+		t.Fatalf("trends = %d, want 1", len(full.Trends))
+	}
+	if c, ok := full.Coefficient(tagset.FromSorted([]tagset.Tag{1, 2}).Key()); !ok || c.CN != 9 {
+		t.Fatalf("pair {1,2} = %+v ok=%v, want CN 9 (last record wins)", c, ok)
+	}
+	for cut := len(data) - 1; cut > 16; cut-- {
+		seg := decodeSegment(data[:cut], fuzzPeriod)
+		if valid := validSegmentPrefix(data[:cut], fuzzPeriod); valid < int64(cut) && !seg.Torn {
+			t.Fatalf("truncation at %d (valid %d) not reported torn", cut, valid)
+		}
+		if len(seg.Coeffs) > len(full.Coeffs) || len(seg.Trends) > len(full.Trends) {
+			t.Fatalf("truncation at %d decoded more than the full segment", cut)
+		}
+	}
+}

@@ -180,11 +180,19 @@ func decodeSegmentFile(path string, period int64) (*Segment, int64, error) {
 	if err != nil {
 		return nil, 0, fmt.Errorf("archive: %w", err)
 	}
+	return decodeSegment(data, period), int64(len(data)), nil
+}
+
+// decodeSegment decodes a segment's raw bytes. It accepts arbitrary input
+// — the bytes may come from a crashed writer or a corrupted disk — and
+// never fails: undecodable content only flips Torn and bounds what is
+// returned.
+func decodeSegment(data []byte, period int64) *Segment {
 	seg := &Segment{Period: period, byKey: make(map[tagset.Key]jaccard.Coefficient)}
 	if len(data) < 16 || string(data[:8]) != segMagic ||
 		int64(binary.LittleEndian.Uint64(data[8:16])) != period {
 		seg.Torn = len(data) > 0
-		return seg, int64(len(data)), nil
+		return seg
 	}
 	trends := make(map[tagset.Key]trend.Event)
 	off := 16
@@ -236,5 +244,5 @@ func decodeSegmentFile(path string, period int64) (*Segment, int64, error) {
 		}
 		return a.Tags.Key() < b.Tags.Key()
 	})
-	return seg, int64(len(data)), nil
+	return seg
 }

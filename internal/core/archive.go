@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/archive"
 	"repro/internal/stream"
@@ -126,6 +127,11 @@ func (p *Pipeline) Checkpoint() error {
 	if p.arch == nil {
 		return fmt.Errorf("core: archive not configured (Config.ArchiveDir)")
 	}
+	start := time.Now()
+	defer func() {
+		p.ckptCount.Add(1)
+		p.ckptStallNS.Add(time.Since(start).Nanoseconds())
+	}()
 
 	// Cut strictly before the newest period the Tracker knows: that period
 	// may still be partially flushed (other Calculators get to it when
@@ -158,6 +164,15 @@ func (p *Pipeline) Checkpoint() error {
 		cp.Trend = &st
 	}
 	return p.arch.WriteCheckpoint(cp)
+}
+
+// CheckpointStats reports how many checkpoints the pipeline has written so
+// far and the cumulative wall time spent writing them. With archiving off
+// both are zero. The periodic checkpoints run on a Tracker task's
+// goroutine, so the stall total measures time the hot path spent blocked on
+// durability — one of the sustained-load quantities cmd/loadgen records.
+func (p *Pipeline) CheckpointStats() (count int64, stall time.Duration) {
+	return p.ckptCount.Load(), time.Duration(p.ckptStallNS.Load())
 }
 
 // ArchiveErr returns the first error the background checkpoint path hit

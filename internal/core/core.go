@@ -98,6 +98,14 @@ type Pipeline struct {
 	archMu        sync.Mutex
 	archErr       error
 	periodsOpened int64
+
+	// ckptCount / ckptStallNS meter the checkpoint path: completed writes
+	// and cumulative wall time spent in them. Periodic checkpoints run
+	// synchronously on a Tracker task's goroutine (the no-partial-period
+	// cut), so the stall total is hot-path time the benchmark harness
+	// surfaces as checkpoint_stall_ms.
+	ckptCount   atomic.Int64
+	ckptStallNS atomic.Int64
 }
 
 // NewPipeline assembles the topology for the given configuration and input.

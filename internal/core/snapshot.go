@@ -87,6 +87,13 @@ type Snapshot struct {
 	TrackerTasks int
 	NotifyBatch  int
 
+	// Checkpoints / CheckpointStallMS meter the durability path: completed
+	// checkpoint writes and the cumulative milliseconds spent in them
+	// (hot-path stall — periodic checkpoints run on a Tracker task's
+	// goroutine). Zero with archiving off.
+	Checkpoints       int64
+	CheckpointStallMS int64
+
 	// Trends is the streaming trend detector's live view (nil unless
 	// Config.Trend is set): the top deviations of the newest scored period
 	// plus the detector's structural counters.
@@ -128,6 +135,8 @@ func (p *Pipeline) Snapshot(k int) *Snapshot {
 		s.TrackerTasks = 1
 	}
 	s.CoefficientsReceived, s.CoefficientsDuplicate = tstats.Received, tstats.Duplicates
+	ckpts, stall := p.CheckpointStats()
+	s.Checkpoints, s.CheckpointStallMS = ckpts, stall.Milliseconds()
 	s.Partitions = p.merger.PartitionsSnapshot()
 
 	for _, d := range p.disseminators {

@@ -1,0 +1,626 @@
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/core"
+	"repro/internal/procstat"
+	"repro/internal/server"
+	"repro/internal/tagset"
+)
+
+// Mode selects how a local run is driven: ModeInproc invokes the serving
+// handler directly (no sockets — measures the query path itself), ModeHTTP
+// serves the same handler on a real loopback listener and queries it over
+// TCP like a live tagcorrd.
+type Mode string
+
+const (
+	ModeInproc Mode = "inproc"
+	ModeHTTP   Mode = "http"
+)
+
+// Options tunes a suite run.
+type Options struct {
+	// Mode picks the local driver (default ModeInproc). Ignored when
+	// Target is set.
+	Mode Mode
+
+	// Target aims the query loops at an already-running tagcorrd instead
+	// of building a local pipeline. Ingest throughput is then measured
+	// from /stats docs_processed deltas over Duration.
+	Target string
+
+	// Seed overrides the generator seed (default 1).
+	Seed int64
+
+	// Docs overrides the suite's stream length.
+	Docs int
+
+	// QueryWorkers overrides the suite's per-endpoint query parallelism.
+	QueryWorkers int
+
+	// Duration is the external-target measurement window (default 30s).
+	Duration time.Duration
+
+	// ArchiveDir overrides the scratch archive directory of suites that
+	// run with durability on. Empty uses a temp dir, removed afterwards.
+	ArchiveDir string
+}
+
+// Run executes one suite under the given options and returns its report.
+func Run(s Suite, opt Options) (*Report, error) {
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	workers := s.QueryWorkers
+	if opt.QueryWorkers > 0 {
+		workers = opt.QueryWorkers
+	}
+	if workers <= 0 {
+		workers = 2
+	}
+	if opt.Target != "" {
+		return runExternal(s, opt, workers)
+	}
+	return runLocal(s, opt, workers)
+}
+
+// client abstracts "GET this path" over the two local drivers and the
+// external target, so the query loops and the stats sampler are mode-
+// agnostic.
+type client interface {
+	get(path string) (status int, body []byte, err error)
+}
+
+// handlerClient invokes the serving handler in-process.
+type handlerClient struct{ h http.Handler }
+
+// memRecorder is a minimal in-memory http.ResponseWriter (the /events SSE
+// endpoint, which needs a Flusher, is not part of the query mix).
+type memRecorder struct {
+	code int
+	hdr  http.Header
+	body bytes.Buffer
+}
+
+func (m *memRecorder) Header() http.Header         { return m.hdr }
+func (m *memRecorder) Write(p []byte) (int, error) { return m.body.Write(p) }
+func (m *memRecorder) WriteHeader(code int)        { m.code = code }
+
+func (c handlerClient) get(path string) (int, []byte, error) {
+	req, err := http.NewRequest(http.MethodGet, "http://inproc"+path, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	rec := &memRecorder{code: http.StatusOK, hdr: make(http.Header)}
+	c.h.ServeHTTP(rec, req)
+	return rec.code, rec.body.Bytes(), nil
+}
+
+// httpClient queries over real TCP.
+type httpClient struct {
+	base string
+	c    *http.Client
+}
+
+func (c *httpClient) get(path string) (int, []byte, error) {
+	resp, err := c.c.Get(c.base + path)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, body, err
+}
+
+// serviceConfig is the tuned-flags pipeline configuration the suites run
+// on top of: the tagcorrd service defaults (fan-out, bounded retention,
+// trend detection) rather than the paper's batch defaults.
+func serviceConfig(s Suite) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.KeepPeriods = 8
+	cfg.NoSeries = true
+	cfg.TrackerTasks = 4
+	cfg.NotifyBatch = 64
+	cfg.EvictedPairs = 4096
+	cfg.Trend = true
+	cfg.TrendThreshold = 0.1
+	cfg.TrendTopK = 50
+	if s.Tune != nil {
+		s.Tune(&cfg)
+	}
+	return cfg
+}
+
+func runLocal(s Suite, opt Options, workers int) (*Report, error) {
+	docs := s.Docs
+	if opt.Docs > 0 {
+		docs = opt.Docs
+	}
+	dict := tagset.NewDictionary()
+	src, err := s.Source(opt.Seed, docs, dict)
+	if err != nil {
+		return nil, err
+	}
+	cfg := serviceConfig(s)
+
+	archDir := ""
+	if s.Archive {
+		archDir = opt.ArchiveDir
+		if archDir == "" {
+			tmp, err := os.MkdirTemp("", "loadgen-"+s.Name+"-")
+			if err != nil {
+				return nil, fmt.Errorf("load: %w", err)
+			}
+			defer os.RemoveAll(tmp)
+			archDir = tmp
+		}
+		cfg.ArchiveDir = archDir
+		cfg.ArchiveDict = dict
+		cfg.CheckpointEvery = 2
+	}
+
+	pipe, err := core.NewPipeline(cfg, src)
+	if err != nil {
+		return nil, fmt.Errorf("load: suite %s: %w", s.Name, err)
+	}
+	start := time.Now()
+	h := pipe.Start()
+	scfg := server.Config{TopK: 100, Refresh: 100 * time.Millisecond}
+	if archDir != "" {
+		scfg.History = archive.OpenReader(archDir)
+	}
+	srv := server.New(pipe, h, dict, scfg)
+	defer srv.Close()
+
+	mode := string(ModeInproc)
+	var cl client = handlerClient{srv.Handler()}
+	if opt.Mode == ModeHTTP {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go httpSrv.Serve(ln) //nolint:errcheck // closed below
+		defer httpSrv.Close()
+		cl = &httpClient{base: "http://" + ln.Addr().String(), c: &http.Client{Timeout: 30 * time.Second}}
+		mode = string(ModeHTTP)
+	}
+
+	runDone := make(chan struct{})
+	var res *core.Result
+	go func() {
+		res = h.Wait()
+		close(runDone)
+	}()
+
+	waitReady(cl, runDone, 30*time.Second)
+
+	lat, smp, stopQueries := startQueryLoad(cl, workers, opt.Seed, s.Archive)
+	<-runDone
+	elapsed := time.Since(start)
+	stopQueries()
+	// Refresh before the last scrape so snapshot_age_ms_last reflects the
+	// drained end-of-run state, not however far the refresh loop had
+	// fallen behind under saturation (that story is SnapshotAgeMSMax's).
+	srv.RefreshNow()
+	smp.scrape()
+	finalProbe(cl, lat, s.Archive, opt.Seed)
+
+	ingested := res.DocsProcessed
+	if ingested == 0 {
+		ingested = int64(docs)
+	}
+	snap := pipe.Snapshot(1)
+	ckpts, stall := pipe.CheckpointStats()
+	rep := &Report{
+		Schema:            Schema,
+		Suite:             s.Name,
+		Mode:              mode,
+		Seed:              opt.Seed,
+		GeneratedAt:       time.Now().UTC().Format(time.RFC3339),
+		Docs:              ingested,
+		Periods:           snap.Tracker.RetainedPeriods + int(snap.Tracker.PrunedPeriods),
+		DurationSec:       elapsed.Seconds(),
+		IngestDocsPerSec:  float64(ingested) / elapsed.Seconds(),
+		Queries:           lat.stats(),
+		SnapshotAgeMSMax:  smp.max(),
+		SnapshotAgeMSLast: smp.lastSample().SnapshotAgeMS,
+		Checkpoints:       ckpts,
+		CheckpointStallMS: stall.Milliseconds(),
+		RSSBytes:          procstat.RSSBytes(),
+		Knobs:             knobsOf(cfg, s.Archive),
+		Env:               envInfo(),
+	}
+	return rep, nil
+}
+
+func runExternal(s Suite, opt Options, workers int) (*Report, error) {
+	dur := opt.Duration
+	if dur <= 0 {
+		dur = 30 * time.Second
+	}
+	cl := &httpClient{base: strings.TrimRight(opt.Target, "/"), c: &http.Client{Timeout: 30 * time.Second}}
+	never := make(chan struct{})
+	waitReady(cl, never, 30*time.Second)
+
+	smp := &sampler{cl: cl}
+	smp.scrape()
+	first := smp.lastSample()
+	start := time.Now()
+
+	lat, stopQueries := startQueryLoadWith(cl, workers, opt.Seed, true, smp)
+	time.Sleep(dur)
+	elapsed := time.Since(start)
+	stopQueries()
+	smp.scrape()
+	finalProbe(cl, lat, true, opt.Seed)
+	last := smp.lastSample()
+
+	delta := last.DocsProcessed - first.DocsProcessed
+	rep := &Report{
+		Schema:            Schema,
+		Suite:             s.Name,
+		Mode:              "http-external",
+		Seed:              opt.Seed,
+		GeneratedAt:       time.Now().UTC().Format(time.RFC3339),
+		Docs:              delta,
+		Periods:           len(last.Periods),
+		DurationSec:       elapsed.Seconds(),
+		IngestDocsPerSec:  float64(delta) / elapsed.Seconds(),
+		Queries:           lat.stats(),
+		SnapshotAgeMSMax:  smp.max(),
+		SnapshotAgeMSLast: last.SnapshotAgeMS,
+		Checkpoints:       last.Checkpoints,
+		CheckpointStallMS: last.CheckpointStallMS,
+		RSSBytes:          last.RSSBytes,
+		Env:               envInfo(),
+	}
+	if delta <= 0 {
+		return rep, fmt.Errorf("load: target %s ingested no documents in %s (is the stream flowing?)",
+			opt.Target, dur)
+	}
+	return rep, nil
+}
+
+// waitReady polls /readyz until the service reports traffic flowing, the
+// run drains (tiny streams can finish before readiness flips — the
+// endpoint stays ready afterwards), or the deadline passes. Best effort:
+// the query loops tolerate a not-yet-ready service anyway.
+func waitReady(cl client, runDone <-chan struct{}, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		status, _, err := cl.get("/readyz")
+		if err == nil && status == http.StatusOK {
+			return
+		}
+		if err == nil && status == http.StatusNotFound {
+			// Pre-/readyz server: fall back to liveness.
+			if st, _, err2 := cl.get("/healthz"); err2 == nil && st == http.StatusOK {
+				return
+			}
+		}
+		select {
+		case <-runDone:
+			return
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+}
+
+// latencies is the per-endpoint histogram set.
+type latencies struct {
+	topk, trends, pairs, history *Hist
+}
+
+func newLatencies() *latencies {
+	return &latencies{topk: NewHist(), trends: NewHist(), pairs: NewHist(), history: NewHist()}
+}
+
+func (l *latencies) stats() map[string]EndpointStats {
+	return map[string]EndpointStats{
+		"topk":    l.topk.Stats(),
+		"trends":  l.trends.Stats(),
+		"pairs":   l.pairs.Stats(),
+		"history": l.history.Stats(),
+	}
+}
+
+// discovery shares what the query loops learn from responses: tag pairs
+// seen in /topk (feeding the /pairs point lookups) and archived period ids
+// (feeding /history/topk). A live workload cannot know these up front —
+// the vocabulary is minted by the generator as the run progresses.
+type discovery struct {
+	mu      sync.Mutex
+	pairs   [][2]string
+	periods []int64
+}
+
+func (d *discovery) addPairs(ps [][2]string) {
+	if len(ps) == 0 {
+		return
+	}
+	d.mu.Lock()
+	d.pairs = ps
+	d.mu.Unlock()
+}
+
+func (d *discovery) randomPair(rng *rand.Rand) ([2]string, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.pairs) == 0 {
+		return [2]string{}, false
+	}
+	return d.pairs[rng.Intn(len(d.pairs))], true
+}
+
+func (d *discovery) setPeriods(ps []int64) {
+	d.mu.Lock()
+	d.periods = ps
+	d.mu.Unlock()
+}
+
+func (d *discovery) randomPeriod(rng *rand.Rand) (int64, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.periods) == 0 {
+		return 0, false
+	}
+	return d.periods[rng.Intn(len(d.periods))], true
+}
+
+// startQueryLoad spawns the concurrent query loops (workers per endpoint)
+// plus the /stats sampler, returning the histograms, the sampler and a
+// stop function that blocks until every loop exits.
+func startQueryLoad(cl client, workers int, seed int64, history bool) (*latencies, *sampler, func()) {
+	smp := &sampler{cl: cl}
+	lat, stop := startQueryLoadWith(cl, workers, seed, history, smp)
+	return lat, smp, stop
+}
+
+func startQueryLoadWith(cl client, workers int, seed int64, history bool, smp *sampler) (*latencies, func()) {
+	lat := newLatencies()
+	disc := &discovery{}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	run := func(i int, fn func(rng *rand.Rand)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed*7919 + int64(i)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				fn(rng)
+			}
+		}()
+	}
+
+	id := 0
+	for w := 0; w < workers; w++ {
+		run(id, func(rng *rand.Rand) { queryTopK(cl, lat.topk, disc) })
+		id++
+		run(id, func(rng *rand.Rand) { queryTrends(cl, lat.trends) })
+		id++
+		run(id, func(rng *rand.Rand) { queryPair(cl, lat.pairs, disc, rng) })
+		id++
+		if history {
+			run(id, func(rng *rand.Rand) { queryHistory(cl, lat.history, disc, rng) })
+			id++
+		}
+	}
+
+	// The sampler scrapes /stats on a fixed cadence — snapshot age and the
+	// durability counters are time series, not per-request quantities.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(100 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				smp.scrape()
+			}
+		}
+	}()
+
+	return lat, func() {
+		close(stop)
+		wg.Wait()
+	}
+}
+
+// finalProbe issues one synchronous query per endpoint against the drained
+// end-of-run state. Two jobs: it measures post-drain latency (the loops
+// above measure under contention), and it guarantees every report carries
+// at least one sample per endpoint even when a short stream finishes
+// before the concurrent loops get a request in.
+func finalProbe(cl client, lat *latencies, history bool, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	disc := &discovery{}
+	queryTopK(cl, lat.topk, disc)
+	queryTrends(cl, lat.trends)
+	if pair, ok := disc.randomPair(rng); ok {
+		record(cl, lat.pairs, "/pairs/"+url.PathEscape(pair[0])+"/"+url.PathEscape(pair[1]))
+	} else {
+		// Nothing in the top-k to look up (stream too short to close a
+		// period): probe an unknown pair — the 404 is a correct answer and
+		// still times the lookup path.
+		record(cl, lat.pairs, "/pairs/a/b")
+	}
+	if history {
+		// First call fetches /history/periods (and seeds the period pool);
+		// the second can then hit /history/topk.
+		queryHistory(cl, lat.history, disc, rng)
+		queryHistory(cl, lat.history, disc, rng)
+	}
+}
+
+// record times one GET and files it: transport failures and 5xx are
+// errors; any served response (including 404 for an unknown tag or a
+// pruned pair — a correct answer under churn) is a latency sample.
+func record(cl client, h *Hist, path string) (status int, body []byte) {
+	start := time.Now()
+	status, body, err := cl.get(path)
+	d := time.Since(start)
+	if err != nil || status >= 500 {
+		h.RecordError()
+		return status, nil
+	}
+	h.Record(d)
+	return status, body
+}
+
+// topKPayload is the slice of the /topk response the driver consumes.
+type topKPayload struct {
+	Top []struct {
+		Tags []string `json:"tags"`
+	} `json:"top"`
+}
+
+func queryTopK(cl client, h *Hist, disc *discovery) {
+	status, body := record(cl, h, "/topk?k=50")
+	if status != http.StatusOK || body == nil {
+		return
+	}
+	var p topKPayload
+	if json.Unmarshal(body, &p) != nil {
+		return
+	}
+	pairs := make([][2]string, 0, len(p.Top))
+	for _, c := range p.Top {
+		if len(c.Tags) == 2 {
+			pairs = append(pairs, [2]string{c.Tags[0], c.Tags[1]})
+		}
+	}
+	disc.addPairs(pairs)
+}
+
+func queryTrends(cl client, h *Hist) {
+	record(cl, h, "/trends?k=20")
+}
+
+func queryPair(cl client, h *Hist, disc *discovery, rng *rand.Rand) {
+	pair, ok := disc.randomPair(rng)
+	if !ok {
+		// Nothing discovered yet (run just started): yield briefly rather
+		// than spinning; the /topk loops will populate the pool.
+		time.Sleep(5 * time.Millisecond)
+		return
+	}
+	record(cl, h, "/pairs/"+url.PathEscape(pair[0])+"/"+url.PathEscape(pair[1]))
+}
+
+// historyPeriodsPayload is the slice of /history/periods the driver reads.
+type historyPeriodsPayload struct {
+	Periods []int64 `json:"periods"`
+}
+
+func queryHistory(cl client, h *Hist, disc *discovery, rng *rand.Rand) {
+	if period, ok := disc.randomPeriod(rng); ok && rng.Intn(2) == 0 {
+		record(cl, h, fmt.Sprintf("/history/topk?period=%d&k=20", period))
+		return
+	}
+	status, body := record(cl, h, "/history/periods")
+	if status != http.StatusOK || body == nil {
+		return
+	}
+	var p historyPeriodsPayload
+	if json.Unmarshal(body, &p) == nil {
+		disc.setPeriods(p.Periods)
+	}
+}
+
+// statsSample is the slice of /stats the sampler scrapes.
+type statsSample struct {
+	SnapshotAgeMS     int64   `json:"snapshot_age_ms"`
+	DocsProcessed     int64   `json:"docs_processed"`
+	Periods           []int64 `json:"periods"`
+	Checkpoints       int64   `json:"checkpoints"`
+	CheckpointStallMS int64   `json:"checkpoint_stall_ms"`
+	RSSBytes          int64   `json:"rss_bytes"`
+}
+
+// sampler polls /stats and keeps the latest sample plus the maximum
+// snapshot age observed — the staleness headline of the report.
+type sampler struct {
+	cl client
+
+	mu     sync.Mutex
+	last   statsSample
+	maxAge int64
+	n      int
+}
+
+func (s *sampler) scrape() {
+	status, body, err := s.cl.get("/stats")
+	if err != nil || status != http.StatusOK {
+		return
+	}
+	var sm statsSample
+	if json.Unmarshal(body, &sm) != nil {
+		return
+	}
+	s.mu.Lock()
+	s.last = sm
+	s.n++
+	if sm.SnapshotAgeMS > s.maxAge {
+		s.maxAge = sm.SnapshotAgeMS
+	}
+	s.mu.Unlock()
+}
+
+func (s *sampler) lastSample() statsSample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last
+}
+
+func (s *sampler) max() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxAge
+}
+
+func knobsOf(cfg core.Config, archived bool) Knobs {
+	k := Knobs{
+		TrackerTasks:  cfg.TrackerTasks,
+		TrackerShards: cfg.TrackerShards,
+		NotifyBatch:   cfg.NotifyBatch,
+		KeepPeriods:   cfg.KeepPeriods,
+		ReportEveryMS: int64(cfg.ReportEvery),
+		Trend:         cfg.Trend,
+		Archive:       archived,
+	}
+	return k
+}
+
+func envInfo() Env {
+	return Env{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+}

@@ -1,0 +1,276 @@
+// Package load is the sustained-load benchmark harness behind cmd/loadgen:
+// named workload suites (deterministic seeded tag-stream generators in the
+// twitgen style), drivers that push a suite through either the in-process
+// core.Pipeline or a live tagcorrd over HTTP while concurrent query loops
+// hammer the read endpoints, per-endpoint latency histograms, and a
+// schema-versioned BENCH_<suite>.json report writer.
+//
+// The paper's evaluation (Section 8) is about sustained streaming behavior
+// — communication per document, load balance, detection latency under
+// realistic tag streams. This package turns those one-off measurements
+// into a repeatable trajectory: every suite is fully deterministic per
+// seed (same seed, same document stream, byte for byte), so a BENCH file
+// committed by one PR is directly comparable to the next PR's run, and CI
+// gates on the smoke suite's ingest throughput against the committed
+// baseline.
+package load
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+	"repro/internal/tagset"
+	"repro/internal/twitgen"
+)
+
+// Suite is one named workload: a deterministic generator configuration,
+// the stream length to push, and the pipeline knobs the scenario is meant
+// to stress. Suites are values — copy and tweak freely.
+type Suite struct {
+	Name        string
+	Description string
+
+	// Docs is the number of generated documents the driver feeds (the
+	// -docs flag overrides it).
+	Docs int
+
+	// QueryWorkers is the number of concurrent query loops per read
+	// endpoint while the stream is ingesting.
+	QueryWorkers int
+
+	// GenConfig returns the suite's generator configuration for a seed.
+	// Equal seeds must yield byte-identical streams; the determinism test
+	// asserts it across every suite.
+	GenConfig func(seed int64) twitgen.Config
+
+	// Tune applies the suite's pipeline knob overrides on top of the
+	// harness service defaults (fan-out, retention, trend detection).
+	Tune func(cfg *core.Config)
+
+	// Archive runs the suite with the durability subsystem on (segments +
+	// periodic checkpoints in a scratch directory), so checkpoint stall
+	// and the /history endpoints are exercised under load.
+	Archive bool
+}
+
+// Source builds the suite's deterministic document source, interning tags
+// into dict. n caps the stream (0 uses Suite.Docs).
+func (s Suite) Source(seed int64, n int, dict *tagset.Dictionary) (core.DocumentSource, error) {
+	if n <= 0 {
+		n = s.Docs
+	}
+	gen, err := twitgen.New(s.GenConfig(seed), dict)
+	if err != nil {
+		return nil, fmt.Errorf("load: suite %s: %w", s.Name, err)
+	}
+	return core.GeneratorSource(gen.Next, n), nil
+}
+
+// StreamHash fingerprints the first n documents of the suite's stream for
+// a seed: id, timestamp and tag identifiers all feed the hash, so two
+// streams collide only if they are identical document for document. The
+// determinism acceptance test compares hashes across independent
+// generator instances.
+func (s Suite) StreamHash(seed int64, n int) (uint64, error) {
+	dict := tagset.NewDictionary()
+	src, err := s.Source(seed, n, dict)
+	if err != nil {
+		return 0, err
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for {
+		d, ok := src()
+		if !ok {
+			break
+		}
+		put(d.ID)
+		put(uint64(d.Time))
+		put(uint64(d.Tags.Len()))
+		for _, t := range d.Tags {
+			put(uint64(t))
+		}
+	}
+	return h.Sum64(), nil
+}
+
+// serviceReportEvery is the virtual reporting period the suites run with:
+// short enough that a bounded run crosses many period boundaries (period
+// pruning, checkpoints and /history all get exercised), long enough that
+// Calculator tables amortize.
+var (
+	smokeReportEvery = stream.Seconds(30)
+	fullReportEvery  = stream.Seconds(60)
+)
+
+// Suites returns the named workload suites in their canonical order.
+func Suites() []Suite {
+	return []Suite{smokeSuite(), steadySuite(), burstySuite(), driftSuite(), adversarialSuite()}
+}
+
+// Lookup resolves a suite by name.
+func Lookup(name string) (Suite, bool) {
+	for _, s := range Suites() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Suite{}, false
+}
+
+// Names lists the suite names in canonical order.
+func Names() []string {
+	suites := Suites()
+	out := make([]string, len(suites))
+	for i, s := range suites {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// smokeSuite is the CI suite: a scaled-down steady workload with archiving
+// on, cheap enough for every pull request (and the Go test wrapper) yet
+// touching every measured quantity — multiple reporting periods,
+// checkpoints, all four query families.
+func smokeSuite() Suite {
+	return Suite{
+		Name:         "smoke",
+		Description:  "CI smoke: small steady Zipf stream with archiving and checkpoints",
+		Docs:         15000,
+		QueryWorkers: 2,
+		Archive:      true,
+		GenConfig: func(seed int64) twitgen.Config {
+			cfg := twitgen.Default()
+			cfg.Seed = seed
+			return cfg
+		},
+		Tune: func(cfg *core.Config) {
+			cfg.ReportEvery = smokeReportEvery
+			cfg.WindowSpan = smokeReportEvery
+		},
+	}
+}
+
+// steadySuite is the baseline capacity workload: stationary Zipf topic and
+// tag popularity, no drift, no vocabulary growth. Throughput here is the
+// "docs/sec per core" headline number — nothing but steady-state hot-path
+// cost.
+func steadySuite() Suite {
+	return Suite{
+		Name:         "steady",
+		Description:  "stationary Zipf topics and tags; no drift, no new vocabulary",
+		Docs:         120000,
+		QueryWorkers: 4,
+		Archive:      true,
+		GenConfig: func(seed int64) twitgen.Config {
+			cfg := twitgen.Default()
+			cfg.Seed = seed
+			cfg.DriftInterval = 0
+			cfg.NewTagProb = 0
+			return cfg
+		},
+		Tune: func(cfg *core.Config) {
+			cfg.ReportEvery = fullReportEvery
+			cfg.WindowSpan = fullReportEvery
+		},
+	}
+}
+
+// burstySuite is the flash-crowd workload: every 30 virtual seconds a cold
+// topic surges to the top popularity rank with freshly minted hashtags
+// (twitgen's drift burst), the Section 7 dynamics that trigger Single
+// Additions and repartitions. Stresses the repartition path and the trend
+// detector's event fan-out under rapid popularity shifts.
+func burstySuite() Suite {
+	return Suite{
+		Name:         "bursty",
+		Description:  "flash crowds: a cold topic surges to rank 1 every 30 virtual seconds",
+		Docs:         120000,
+		QueryWorkers: 4,
+		Archive:      true,
+		GenConfig: func(seed int64) twitgen.Config {
+			cfg := twitgen.Default()
+			cfg.Seed = seed
+			cfg.TopicSkew = 1.2
+			cfg.NewTagProb = 0.02
+			cfg.DriftInterval = stream.Seconds(30)
+			return cfg
+		},
+		Tune: func(cfg *core.Config) {
+			cfg.ReportEvery = fullReportEvery
+			cfg.WindowSpan = fullReportEvery
+		},
+	}
+}
+
+// driftSuite is the drifting-vocabulary workload: sustained topic rotation
+// plus steady new-tag injection grow and shift the vocabulary for the
+// whole run. Stresses dictionary growth, unseen-tagset handling (Single
+// Additions) and partition-quality decay.
+func driftSuite() Suite {
+	return Suite{
+		Name:         "drift",
+		Description:  "drifting vocabulary: constant topic rotation and new-tag injection",
+		Docs:         120000,
+		QueryWorkers: 4,
+		Archive:      true,
+		GenConfig: func(seed int64) twitgen.Config {
+			cfg := twitgen.Default()
+			cfg.Seed = seed
+			cfg.NewTagProb = 0.05
+			cfg.DriftInterval = stream.Seconds(45)
+			return cfg
+		},
+		Tune: func(cfg *core.Config) {
+			cfg.ReportEvery = fullReportEvery
+			cfg.WindowSpan = fullReportEvery
+		},
+	}
+}
+
+// adversarialSuite is the high-cardinality workload: many small topic
+// vocabularies with near-uniform popularity, heavy cross-topic mixing and
+// aggressive new-tag minting, under the maximum tags-per-document the
+// generator allows. The co-occurrence graph stays close to one giant
+// component — the regime the paper's theory warns about — and the pair
+// space explodes, stressing Tracker sharding, retention pruning and the
+// evicted-pair LRU.
+func adversarialSuite() Suite {
+	return Suite{
+		Name:         "adversarial",
+		Description:  "high-cardinality tags: near-uniform popularity, heavy mixing, max tags per doc",
+		Docs:         80000,
+		QueryWorkers: 4,
+		Archive:      true,
+		GenConfig: func(seed int64) twitgen.Config {
+			cfg := twitgen.Default()
+			cfg.Seed = seed
+			cfg.Topics = 20000
+			cfg.TagsPerTopic = 4
+			cfg.TopicSkew = 0.3
+			cfg.TagSkew = 0.2
+			cfg.MixProb = 0.2
+			cfg.NewTagProb = 0.1
+			cfg.MaxTags = 16
+			cfg.LengthSkew = 0.1
+			return cfg
+		},
+		Tune: func(cfg *core.Config) {
+			cfg.ReportEvery = fullReportEvery
+			cfg.WindowSpan = fullReportEvery
+			// Let the full 16-tag documents through the Parser: truncation
+			// would blunt the high-cardinality attack.
+			cfg.MaxTags = 16
+			// The pair space is the stress here: keep more shards hot.
+			cfg.TrackerShards = 32
+		},
+	}
+}

@@ -1,0 +1,230 @@
+package load
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestStreamDeterminism is the acceptance check for suite generators: the
+// same seed must produce the identical document stream (id, timestamp and
+// tags, document for document) across independent generator instances, and
+// a different seed must not.
+func TestStreamDeterminism(t *testing.T) {
+	const n = 3000
+	for _, s := range Suites() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			h1, err := s.StreamHash(7, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h2, err := s.StreamHash(7, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h1 != h2 {
+				t.Fatalf("suite %s: same seed produced different streams: %x vs %x", s.Name, h1, h2)
+			}
+			h3, err := s.StreamHash(8, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h1 == h3 {
+				t.Fatalf("suite %s: different seeds produced identical streams (%x)", s.Name, h1)
+			}
+		})
+	}
+}
+
+// TestSuitesBothDrivers runs every workload suite against both drivers —
+// direct in-process handler calls and a live HTTP server on loopback —
+// with a short stream, and requires a schema-valid report from each.
+func TestSuitesBothDrivers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite×driver matrix skipped in -short")
+	}
+	for _, s := range Suites() {
+		if s.Name == "smoke" {
+			continue // covered (at full size) by TestSmokeSuiteReport
+		}
+		for _, mode := range []Mode{ModeInproc, ModeHTTP} {
+			s, mode := s, mode
+			t.Run(s.Name+"/"+string(mode), func(t *testing.T) {
+				rep, err := Run(s, Options{Mode: mode, Seed: 3, Docs: 1500, QueryWorkers: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := rep.Validate(); err != nil {
+					t.Fatalf("suite %s over %s: invalid report: %v", s.Name, mode, err)
+				}
+				if got, want := rep.Mode, string(mode); got != want {
+					t.Fatalf("report mode = %q, want %q", got, want)
+				}
+				if rep.Docs != 1500 {
+					t.Fatalf("report docs = %d, want 1500", rep.Docs)
+				}
+				if rep.Queries["topk"].Count == 0 {
+					t.Fatalf("suite %s over %s: no /topk queries recorded", s.Name, mode)
+				}
+			})
+		}
+	}
+}
+
+// TestSmokeSuiteReport is the Go-test face of `loadgen -suite smoke`: the
+// CI suite at a reduced stream length must produce a schema-valid report
+// with every headline quantity populated.
+func TestSmokeSuiteReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke suite run skipped in -short")
+	}
+	s, ok := Lookup("smoke")
+	if !ok {
+		t.Fatal("smoke suite missing")
+	}
+	rep, err := Run(s, Options{Seed: 1, Docs: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("invalid report: %v", err)
+	}
+	if rep.IngestDocsPerSec <= 0 {
+		t.Fatalf("ingest_docs_per_sec = %g", rep.IngestDocsPerSec)
+	}
+	if rep.Periods < 1 {
+		t.Fatalf("periods = %d, want >= 1", rep.Periods)
+	}
+	if rep.Checkpoints < 1 {
+		t.Fatalf("checkpoints = %d, want >= 1 (smoke archives)", rep.Checkpoints)
+	}
+	if rep.SnapshotAgeMSMax < 0 || rep.SnapshotAgeMSLast < 0 {
+		t.Fatalf("negative snapshot age: max %d last %d", rep.SnapshotAgeMSMax, rep.SnapshotAgeMSLast)
+	}
+	for _, ep := range []string{"topk", "trends", "pairs", "history"} {
+		if _, ok := rep.Queries[ep]; !ok {
+			t.Fatalf("report missing endpoint %q", ep)
+		}
+	}
+	if rep.Queries["topk"].Count == 0 || rep.Queries["trends"].Count == 0 {
+		t.Fatalf("no queries recorded: topk=%d trends=%d",
+			rep.Queries["topk"].Count, rep.Queries["trends"].Count)
+	}
+
+	// Round-trip through the file format the CI gate consumes.
+	dir := t.TempDir()
+	path, err := rep.WriteFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_smoke.json" {
+		t.Fatalf("report file = %s, want BENCH_smoke.json", filepath.Base(path))
+	}
+	back, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.IngestDocsPerSec != rep.IngestDocsPerSec {
+		t.Fatalf("round-trip changed ingest: %g vs %g", back.IngestDocsPerSec, rep.IngestDocsPerSec)
+	}
+}
+
+func TestCompareIngest(t *testing.T) {
+	base := &Report{Suite: "smoke", IngestDocsPerSec: 1000}
+	ok := &Report{Suite: "smoke", IngestDocsPerSec: 800}
+	if err := CompareIngest(base, ok, 0.25); err != nil {
+		t.Fatalf("800 vs 1000 at 25%% should pass: %v", err)
+	}
+	bad := &Report{Suite: "smoke", IngestDocsPerSec: 700}
+	if err := CompareIngest(base, bad, 0.25); err == nil {
+		t.Fatal("700 vs 1000 at 25% should fail")
+	}
+	other := &Report{Suite: "steady", IngestDocsPerSec: 1000}
+	if err := CompareIngest(base, other, 0.25); err == nil {
+		t.Fatal("mismatched suites should fail")
+	}
+}
+
+func TestReportValidate(t *testing.T) {
+	valid := func() *Report {
+		return &Report{
+			Schema:           Schema,
+			Suite:            "smoke",
+			Mode:             "inproc",
+			Docs:             100,
+			DurationSec:      1,
+			IngestDocsPerSec: 100,
+			Queries:          map[string]EndpointStats{"topk": {Count: 1, P50MS: 0.1, P99MS: 0.2}},
+		}
+	}
+	if err := valid().Validate(); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+	r := valid()
+	r.Schema = "tagcorr-bench/0"
+	if err := r.Validate(); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+	r = valid()
+	r.IngestDocsPerSec = 0
+	if err := r.Validate(); err == nil {
+		t.Fatal("zero throughput accepted")
+	}
+	r = valid()
+	r.Queries = nil
+	if err := r.Validate(); err == nil {
+		t.Fatal("missing query stats accepted")
+	}
+	r = valid()
+	r.SnapshotAgeMSMax = -1
+	if err := r.Validate(); err == nil {
+		t.Fatal("negative snapshot age accepted")
+	}
+}
+
+func TestReadReportRejectsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_x.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(path); err == nil {
+		t.Fatal("corrupt report accepted")
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	h := NewHist()
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 400*time.Microsecond || p50 > 650*time.Microsecond {
+		t.Fatalf("p50 = %v, want ~500µs", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 900*time.Microsecond || p99 > 1300*time.Microsecond {
+		t.Fatalf("p99 = %v, want ~990µs", p99)
+	}
+	if p99 < p50 {
+		t.Fatalf("p99 %v < p50 %v", p99, p50)
+	}
+	st := h.Stats()
+	if st.MaxMS < 0.9 || st.Count != 1000 || st.Errors != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	h.RecordError()
+	if h.Errors() != 1 {
+		t.Fatalf("errors = %d", h.Errors())
+	}
+
+	empty := NewHist()
+	if q := empty.Quantile(0.99); q != 0 {
+		t.Fatalf("empty quantile = %v", q)
+	}
+}

@@ -1,0 +1,199 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Schema identifies the BENCH report format. Bump on any
+// backwards-incompatible field change; readers (the CI gate, trajectory
+// tooling) refuse reports with an unknown schema rather than
+// misinterpreting them.
+const Schema = "tagcorr-bench/1"
+
+// EndpointStats is the latency summary of one query endpoint under load.
+type EndpointStats struct {
+	Count  int64   `json:"count"`
+	Errors int64   `json:"errors"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+	MeanMS float64 `json:"mean_ms"`
+}
+
+// Env records where a report was measured — throughput numbers are only
+// comparable with hardware context attached.
+type Env struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+}
+
+// Knobs echoes the pipeline configuration the suite ran with, so a BENCH
+// file is self-describing about what was measured.
+type Knobs struct {
+	TrackerTasks  int   `json:"tracker_tasks"`
+	TrackerShards int   `json:"tracker_shards"`
+	NotifyBatch   int   `json:"notify_batch"`
+	KeepPeriods   int   `json:"keep_periods"`
+	ReportEveryMS int64 `json:"report_every_ms"`
+	Trend         bool  `json:"trend"`
+	Archive       bool  `json:"archive"`
+}
+
+// Report is one suite run's measurements — the unit of the BENCH_*.json
+// perf trajectory.
+type Report struct {
+	Schema      string `json:"schema"`
+	Suite       string `json:"suite"`
+	Mode        string `json:"mode"` // inproc | http | http-external
+	Seed        int64  `json:"seed"`
+	GeneratedAt string `json:"generated_at"`
+
+	Docs        int64   `json:"docs"`
+	Periods     int     `json:"periods"`
+	DurationSec float64 `json:"duration_sec"`
+
+	// IngestDocsPerSec is the headline capacity number: documents the
+	// pipeline consumed per wall-clock second while query loops ran
+	// concurrently. The CI gate compares it against the committed smoke
+	// baseline.
+	IngestDocsPerSec float64 `json:"ingest_docs_per_sec"`
+
+	// Queries maps endpoint name (topk, trends, pairs, history) to its
+	// latency summary under load.
+	Queries map[string]EndpointStats `json:"queries"`
+
+	// SnapshotAgeMSMax / SnapshotAgeMSLast track snapshot staleness: the
+	// worst and final snapshot_age_ms sampled from /stats during the run.
+	SnapshotAgeMSMax  int64 `json:"snapshot_age_ms_max"`
+	SnapshotAgeMSLast int64 `json:"snapshot_age_ms_last"`
+
+	// Checkpoints / CheckpointStallMS meter the durability path: completed
+	// checkpoint writes and cumulative hot-path stall.
+	Checkpoints       int64 `json:"checkpoints"`
+	CheckpointStallMS int64 `json:"checkpoint_stall_ms"`
+
+	// RSSBytes is the serving process's resident set size at the end of
+	// the run (0 on platforms without /proc).
+	RSSBytes int64 `json:"rss_bytes"`
+
+	Knobs Knobs `json:"knobs"`
+	Env   Env   `json:"env"`
+}
+
+// Validate checks that a report is schema-complete: the fields the
+// trajectory and the CI gate consume are present and sane.
+func (r *Report) Validate() error {
+	switch {
+	case r.Schema != Schema:
+		return fmt.Errorf("load: report schema %q (want %q)", r.Schema, Schema)
+	case r.Suite == "":
+		return fmt.Errorf("load: report missing suite name")
+	case r.Mode == "":
+		return fmt.Errorf("load: report missing mode")
+	case r.Docs <= 0:
+		return fmt.Errorf("load: report docs = %d", r.Docs)
+	case r.DurationSec <= 0:
+		return fmt.Errorf("load: report duration_sec = %g", r.DurationSec)
+	case r.IngestDocsPerSec <= 0:
+		return fmt.Errorf("load: report ingest_docs_per_sec = %g", r.IngestDocsPerSec)
+	case len(r.Queries) == 0:
+		return fmt.Errorf("load: report has no query stats")
+	case r.SnapshotAgeMSMax < 0 || r.SnapshotAgeMSLast < 0:
+		return fmt.Errorf("load: negative snapshot age (max %d, last %d)",
+			r.SnapshotAgeMSMax, r.SnapshotAgeMSLast)
+	}
+	for name, q := range r.Queries {
+		if q.Count > 0 && (q.P50MS <= 0 || q.P99MS < q.P50MS) {
+			return fmt.Errorf("load: endpoint %s: implausible quantiles p50=%g p99=%g",
+				name, q.P50MS, q.P99MS)
+		}
+	}
+	return nil
+}
+
+// FileName returns the report's canonical file name, BENCH_<suite>.json.
+func (r *Report) FileName() string { return "BENCH_" + r.Suite + ".json" }
+
+// WriteFile writes the report into dir under its canonical name and
+// returns the path.
+func (r *Report) WriteFile(dir string) (string, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("load: %w", err)
+	}
+	path := filepath.Join(dir, r.FileName())
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("load: %w", err)
+	}
+	return path, nil
+}
+
+// ReadReport loads and validates a BENCH report file.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("load: %s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// CompareIngest gates a fresh report against a baseline: an ingest
+// throughput drop of more than maxRegress (0.25 = 25%) is an error. Gains
+// and small losses pass; the caller decides whether a large gain should
+// refresh the committed baseline.
+func CompareIngest(baseline, cur *Report, maxRegress float64) error {
+	if baseline.Suite != cur.Suite {
+		return fmt.Errorf("load: baseline suite %q vs current %q", baseline.Suite, cur.Suite)
+	}
+	floor := baseline.IngestDocsPerSec * (1 - maxRegress)
+	if cur.IngestDocsPerSec < floor {
+		return fmt.Errorf(
+			"load: ingest throughput regression: %.0f docs/s vs baseline %.0f (floor %.0f, -%.0f%% allowed)",
+			cur.IngestDocsPerSec, baseline.IngestDocsPerSec, floor, maxRegress*100)
+	}
+	return nil
+}
+
+// Table renders reports as an aligned human summary — the console
+// counterpart of the JSON files.
+func Table(reports []*Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-6s %9s %10s %9s %9s %9s %9s %8s %9s %8s\n",
+		"suite", "mode", "docs", "docs/sec", "topk p50", "topk p99", "pairs p99", "hist p99",
+		"snap max", "ckpt stall", "rss")
+	for _, r := range reports {
+		topk := r.Queries["topk"]
+		pairs := r.Queries["pairs"]
+		hist := r.Queries["history"]
+		fmt.Fprintf(&b, "%-12s %-6s %9d %10.0f %8.2fm %8.2fm %8.2fm %8.2fm %7dms %8dms %7.0fM\n",
+			r.Suite, strings.TrimPrefix(r.Mode, "http-"), r.Docs, r.IngestDocsPerSec,
+			topk.P50MS, topk.P99MS, pairs.P99MS, hist.P99MS,
+			r.SnapshotAgeMSMax, r.CheckpointStallMS, float64(r.RSSBytes)/(1<<20))
+	}
+	return b.String()
+}
+
+// SortEndpoints returns the report's endpoint names, stable order.
+func (r *Report) SortEndpoints() []string {
+	names := make([]string, 0, len(r.Queries))
+	for n := range r.Queries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

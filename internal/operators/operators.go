@@ -331,8 +331,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("operators: trendTasks = %d", c.TrendTasks)
 	case c.CheckpointEvery < 0:
 		return fmt.Errorf("operators: checkpointEvery = %d", c.CheckpointEvery)
+	case c.CheckpointEvery > 0 && c.ArchiveDir == "":
+		return fmt.Errorf("operators: checkpointEvery = %d without ArchiveDir (checkpoints need an archive to live in)", c.CheckpointEvery)
 	case c.ArchiveDir != "" && c.ArchiveDict == nil:
 		return fmt.Errorf("operators: ArchiveDir requires ArchiveDict (the stream's tag dictionary)")
+	case c.EvictedPairs > 0 && c.KeepPeriods == 0:
+		return fmt.Errorf("operators: evictedPairs = %d with keepPeriods = 0 (nothing is ever pruned into the LRU)", c.EvictedPairs)
 	}
 	return nil
 }

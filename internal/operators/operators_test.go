@@ -43,30 +43,82 @@ func TestConfigValidate(t *testing.T) {
 	if err := DefaultConfig().Validate(); err != nil {
 		t.Fatalf("default config invalid: %v", err)
 	}
-	mutations := []func(*Config){
-		func(c *Config) { c.K = 0 },
-		func(c *Config) { c.P = 0 },
-		func(c *Config) { c.Algorithm = "nope" },
-		func(c *Config) { c.Thr = -1 },
-		func(c *Config) { c.SN = 0 },
-		func(c *Config) { c.StatsEvery = 0 },
-		func(c *Config) { c.ReportEvery = 0 },
-		func(c *Config) { c.WindowSpan = 0 },
-		func(c *Config) { c.MaxTags = 0 },
-		func(c *Config) { c.Parsers = 0 },
-		func(c *Config) { c.Disseminators = 0 },
-		func(c *Config) { c.TrackerShards = -1 },
-		func(c *Config) { c.TrackerTopK = -1 },
-		func(c *Config) { c.EvictedPairs = -1 },
-		func(c *Config) { c.TrackerTasks = -1 },
-		func(c *Config) { c.NotifyBatch = -1 },
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		valid  bool
+	}{
+		{"zero K", func(c *Config) { c.K = 0 }, false},
+		{"zero P", func(c *Config) { c.P = 0 }, false},
+		{"unknown algorithm", func(c *Config) { c.Algorithm = "nope" }, false},
+		{"negative thr", func(c *Config) { c.Thr = -1 }, false},
+		{"zero SN", func(c *Config) { c.SN = 0 }, false},
+		{"zero statsEvery", func(c *Config) { c.StatsEvery = 0 }, false},
+		{"zero reportEvery", func(c *Config) { c.ReportEvery = 0 }, false},
+		{"zero windowSpan", func(c *Config) { c.WindowSpan = 0 }, false},
+		{"zero maxTags", func(c *Config) { c.MaxTags = 0 }, false},
+		{"zero parsers", func(c *Config) { c.Parsers = 0 }, false},
+		{"zero disseminators", func(c *Config) { c.Disseminators = 0 }, false},
+		{"negative windowCount", func(c *Config) { c.WindowCount = -1 }, false},
+		{"negative autoScaleLoad", func(c *Config) { c.AutoScaleLoad = -1 }, false},
+		{"negative keepPeriods", func(c *Config) { c.KeepPeriods = -1 }, false},
+		{"negative trackerShards", func(c *Config) { c.TrackerShards = -1 }, false},
+		{"negative trackerTopK", func(c *Config) { c.TrackerTopK = -1 }, false},
+		{"negative evictedPairs", func(c *Config) { c.EvictedPairs = -1 }, false},
+		{"negative spoutPending", func(c *Config) { c.SpoutPending = -1 }, false},
+		{"negative trackerTasks", func(c *Config) { c.TrackerTasks = -1 }, false},
+		{"negative notifyBatch", func(c *Config) { c.NotifyBatch = -1 }, false},
+		{"trendAlpha above one", func(c *Config) { c.TrendAlpha = 1.5 }, false},
+		{"negative trendMinSupport", func(c *Config) { c.TrendMinSupport = -1 }, false},
+		{"negative trendTopK", func(c *Config) { c.TrendTopK = -1 }, false},
+		{"trendThreshold above one", func(c *Config) { c.TrendThreshold = 2 }, false},
+		{"negative trendShards", func(c *Config) { c.TrendShards = -1 }, false},
+		{"negative trendTasks", func(c *Config) { c.TrendTasks = -1 }, false},
+		{"negative checkpointEvery", func(c *Config) { c.CheckpointEvery = -1 }, false},
+
+		// Cross-field combinations: each knob is in range on its own, but
+		// the combination is a configuration that silently does nothing (or
+		// less than asked) — Validate must reject it, not accept it.
+		{"checkpointEvery without archiveDir", func(c *Config) {
+			c.CheckpointEvery = 2
+		}, false},
+		{"archiveDir without archiveDict", func(c *Config) {
+			c.ArchiveDir = t.TempDir()
+		}, false},
+		{"evictedPairs without keepPeriods", func(c *Config) {
+			c.EvictedPairs = 1024
+		}, false},
+
+		// The combinations the daemon and the benchmark harness actually
+		// run with must stay accepted.
+		{"archive fully configured", func(c *Config) {
+			c.ArchiveDir = t.TempDir()
+			c.ArchiveDict = tagset.NewDictionary()
+			c.CheckpointEvery = 2
+		}, true},
+		{"bounded retention with LRU", func(c *Config) {
+			c.KeepPeriods = 8
+			c.EvictedPairs = 4096
+		}, true},
+		{"defaulted zeros", func(c *Config) {
+			c.TrackerShards = 0
+			c.TrackerTasks = 0
+			c.TrendShards = 0
+			c.CheckpointEvery = 0
+		}, true},
 	}
-	for i, m := range mutations {
-		cfg := DefaultConfig()
-		m(&cfg)
-		if cfg.Validate() == nil {
-			t.Errorf("mutation %d accepted", i)
-		}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if tc.valid && err != nil {
+				t.Fatalf("rejected: %v", err)
+			}
+			if !tc.valid && err == nil {
+				t.Fatal("accepted")
+			}
+		})
 	}
 }
 

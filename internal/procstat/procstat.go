@@ -1,0 +1,34 @@
+// Package procstat reads lightweight process-level statistics for the
+// benchmark harness: the resident set size the BENCH reports record and the
+// /stats scrape exposes. Linux is the measured platform (CI and the
+// capacity runs); on other systems the readings degrade to zero rather
+// than erroring, so callers never need to gate on GOOS.
+package procstat
+
+import (
+	"os"
+	"strconv"
+	"strings"
+)
+
+// pageSize caches the kernel page size used by /proc/self/statm.
+var pageSize = int64(os.Getpagesize())
+
+// RSSBytes returns the process's resident set size in bytes, or 0 when the
+// platform does not expose /proc/self/statm (non-Linux).
+func RSSBytes() int64 {
+	data, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0
+	}
+	// statm: size resident shared text lib data dt (in pages).
+	fields := strings.Fields(string(data))
+	if len(fields) < 2 {
+		return 0
+	}
+	resident, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return resident * pageSize
+}

@@ -22,6 +22,7 @@
 //	/partition            installed partitions: epoch, per-partition tags+load
 //	/stats                full snapshot: counters, quality stats, dataflow
 //	/healthz              liveness plus run state
+//	/readyz               readiness: 200 once the stream is flowing (503 before)
 //	/history/periods      reporting periods archived on disk
 //	/history/topk?period=P[&k=N]  top-N coefficients of one archived period
 //	/history/pairs/{tagA}/{tagB}[?period=P]  archived coefficient of a pair
@@ -55,6 +56,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/jaccard"
 	"repro/internal/partition"
+	"repro/internal/procstat"
 	"repro/internal/tagset"
 	"repro/internal/trend"
 )
@@ -178,6 +180,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /partition", s.handlePartition)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /history/periods", s.handleHistoryPeriods)
 	mux.HandleFunc("GET /history/topk", s.handleHistoryTopK)
 	mux.HandleFunc("GET /history/pairs/{tagA}/{tagB}", s.handleHistoryPair)
@@ -700,6 +703,15 @@ type StatsResponse struct {
 	TrackerTasks int `json:"tracker_tasks"`
 	NotifyBatch  int `json:"notify_batch"`
 
+	// Checkpoints / CheckpointStallMS meter the durability path (0 with
+	// archiving off): completed checkpoint writes and the cumulative
+	// milliseconds the hot path spent blocked in them. RSSBytes is the
+	// process resident set size (0 on platforms without /proc). These are
+	// the fields the cmd/loadgen driver scrapes between query rounds.
+	Checkpoints       int64 `json:"checkpoints"`
+	CheckpointStallMS int64 `json:"checkpoint_stall_ms"`
+	RSSBytes          int64 `json:"rss_bytes"`
+
 	Tracker TrackerStats `json:"tracker"`
 	Trends  *TrendStats  `json:"trends,omitempty"`
 
@@ -791,6 +803,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		TrackerTasks: snap.TrackerTasks,
 		NotifyBatch:  snap.NotifyBatch,
 
+		Checkpoints:       snap.Checkpoints,
+		CheckpointStallMS: snap.CheckpointStallMS,
+		RSSBytes:          procstat.RSSBytes(),
+
 		Tracker: TrackerStats{
 			Shards:          snap.Tracker.Shards,
 			TopKBound:       snap.Tracker.TopKBound,
@@ -824,6 +840,41 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Running:       s.handle.Running(),
 		DocsProcessed: s.Snapshot().DocsProcessed,
 	})
+}
+
+// ReadyResponse is the /readyz payload. Unlike /healthz (liveness: the
+// process is up and serving), readiness reports whether the pipeline has
+// actually started consuming the stream — the condition a load driver or
+// orchestrator waits on before aiming traffic at the service. Ready once
+// the first document has been processed; a drained run stays ready (its
+// final state is still being served).
+type ReadyResponse struct {
+	Ready         bool  `json:"ready"`
+	Running       bool  `json:"running"`
+	DocsProcessed int64 `json:"docs_processed"`
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	// Consult the Tracker-consistent cached snapshot, but fall back to the
+	// live Disseminator counters: at startup the first refresh can precede
+	// the first processed document, and readiness should flip as soon as
+	// traffic flows rather than one cache interval later.
+	docs := s.Snapshot().DocsProcessed
+	if docs == 0 {
+		docs = s.pipe.Snapshot(1).DocsProcessed
+	}
+	resp := ReadyResponse{
+		Ready:         docs > 0,
+		Running:       s.handle.Running(),
+		DocsProcessed: docs,
+	}
+	if !resp.Ready {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(resp) //nolint:errcheck
+		return
+	}
+	writeJSON(w, resp)
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {

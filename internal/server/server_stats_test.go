@@ -1,0 +1,144 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+	"repro/internal/tagset"
+	"repro/internal/twitgen"
+)
+
+// drainedServer runs a small bounded stream to completion and returns a
+// server whose background refresh is effectively off (hour-long interval),
+// so tests control snapshot freshness explicitly via RefreshNow.
+func drainedServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	dict := tagset.NewDictionary()
+	gcfg := twitgen.Default()
+	gcfg.Seed = 11
+	gen, err := twitgen.New(gcfg, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.WindowSpan = stream.Minutes(1)
+	cfg.ReportEvery = stream.Minutes(1)
+	pipe, err := core.NewPipeline(cfg, core.GeneratorSource(gen.Next, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := pipe.Start()
+	h.Wait()
+	srv := New(pipe, h, dict, Config{TopK: 20, Refresh: time.Hour})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return srv, ts
+}
+
+// TestStatsSnapshotAge pins the /stats staleness signal: snapshot_age_ms
+// is present and non-negative, grows while no refresh happens, and drops
+// back after RefreshNow re-snapshots the pipeline.
+func TestStatsSnapshotAge(t *testing.T) {
+	srv, ts := drainedServer(t)
+
+	var st StatsResponse
+	getJSON(t, ts.Client(), ts.URL+"/stats", &st)
+	if st.SnapshotAgeMS < 0 {
+		t.Fatalf("snapshot_age_ms = %d, want >= 0", st.SnapshotAgeMS)
+	}
+	if st.DocsProcessed == 0 {
+		t.Fatal("drained pipeline reports 0 docs_processed")
+	}
+
+	// With the refresh loop effectively off, age must accumulate.
+	time.Sleep(60 * time.Millisecond)
+	var aged StatsResponse
+	getJSON(t, ts.Client(), ts.URL+"/stats", &aged)
+	if aged.SnapshotAgeMS < 50 {
+		t.Fatalf("snapshot_age_ms = %d after 60ms without refresh, want >= 50", aged.SnapshotAgeMS)
+	}
+	if aged.SnapshotAgeMS < st.SnapshotAgeMS {
+		t.Fatalf("snapshot_age_ms went backwards without a refresh: %d then %d",
+			st.SnapshotAgeMS, aged.SnapshotAgeMS)
+	}
+
+	// A refresh resets the age to "just taken".
+	srv.RefreshNow()
+	var fresh StatsResponse
+	getJSON(t, ts.Client(), ts.URL+"/stats", &fresh)
+	if fresh.SnapshotAgeMS < 0 || fresh.SnapshotAgeMS >= aged.SnapshotAgeMS {
+		t.Fatalf("snapshot_age_ms = %d after RefreshNow, want in [0, %d)",
+			fresh.SnapshotAgeMS, aged.SnapshotAgeMS)
+	}
+
+	// The durability and process gauges the loadgen sampler scrapes ride
+	// the same payload: absent subsystems read zero, never negative.
+	if fresh.Checkpoints < 0 || fresh.CheckpointStallMS < 0 {
+		t.Fatalf("negative durability counters: %d ckpts, %d ms stall",
+			fresh.Checkpoints, fresh.CheckpointStallMS)
+	}
+	if runtime.GOOS == "linux" && fresh.RSSBytes <= 0 {
+		t.Fatalf("rss_bytes = %d on linux, want > 0", fresh.RSSBytes)
+	}
+}
+
+// TestReadyz pins the readiness contract: 503 while no document has been
+// processed, 200 once traffic has flowed.
+func TestReadyz(t *testing.T) {
+	dict := tagset.NewDictionary()
+	gcfg := twitgen.Default()
+	gcfg.Seed = 12
+	gen, err := twitgen.New(gcfg, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	sent := 0
+	src := func() (stream.Document, bool) {
+		<-gate
+		if sent >= 2000 {
+			return stream.Document{}, false
+		}
+		sent++
+		return gen.Next(), true
+	}
+	cfg := core.DefaultConfig()
+	cfg.WindowSpan = stream.Minutes(1)
+	cfg.ReportEvery = stream.Minutes(1)
+	pipe, err := core.NewPipeline(cfg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := pipe.Start()
+	srv := New(pipe, h, dict, Config{TopK: 20, Refresh: 5 * time.Millisecond})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close() }()
+
+	// Source is gated shut: nothing can have been processed yet.
+	resp, err := ts.Client().Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz before traffic: status %d, want 503", resp.StatusCode)
+	}
+
+	close(gate)
+	h.Wait()
+	srv.RefreshNow()
+
+	resp, err = ts.Client().Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz after traffic: status %d, want 200", resp.StatusCode)
+	}
+}
