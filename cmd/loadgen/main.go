@@ -41,6 +41,7 @@ func main() {
 		out        = flag.String("out", ".", "directory BENCH_<suite>.json reports are written into")
 		baseline   = flag.String("baseline", "", "BENCH report to gate ingest throughput against")
 		maxRegress = flag.Float64("max-regress", 0.25, "maximum allowed ingest throughput regression vs -baseline")
+		pace       = flag.Int("pace", 0, "cap local ingest at this many docs/sec (0: closed-loop)")
 	)
 	flag.Parse()
 
@@ -59,12 +60,13 @@ func main() {
 	}
 
 	opt := load.Options{
-		Mode:         load.Mode(*mode),
-		Target:       *target,
-		Seed:         *seed,
-		Docs:         *docs,
-		QueryWorkers: *workers,
-		Duration:     *duration,
+		Mode:          load.Mode(*mode),
+		Target:        *target,
+		Seed:          *seed,
+		Docs:          *docs,
+		QueryWorkers:  *workers,
+		Duration:      *duration,
+		MaxDocsPerSec: *pace,
 	}
 	if opt.Mode != load.ModeInproc && opt.Mode != load.ModeHTTP {
 		log.Fatalf("loadgen: -mode %q (want inproc or http)", *mode)

@@ -17,6 +17,7 @@
 //	curl localhost:8080/history/periods
 //	curl 'localhost:8080/history/topk?period=3&k=10'
 //	curl localhost:8080/history/pairs/tag-42-1/tag-42-7
+//	curl 'localhost:8080/history/trends?period=3&k=10'
 //
 // With -archive-dir the daemon is durable: accepted coefficient reports
 // and trend deviations stream into per-period segment files, checkpoints
@@ -24,7 +25,10 @@
 // endpoints answer for periods arbitrarily far past -keep-periods, and a
 // restart (even after SIGKILL) recovers from the newest valid checkpoint
 // and resumes the source from the recorded cursor, logging a recovery
-// summary.
+// summary. With -keep-periods > 0 a background compactor additionally
+// coalesces pruned per-period segments into compacted files and, with
+// -archive-budget, ages out the oldest compacted history to keep the
+// directory under the byte budget.
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: a checkpoint is written
 // (so even a killed drain stays recoverable), the source stops, the
@@ -84,6 +88,7 @@ func main() {
 
 		archiveDir = flag.String("archive-dir", "", "durability directory: per-period segments + checkpoints; serves /history and enables crash recovery (empty: off)")
 		ckptEvery  = flag.Int("checkpoint-every", 1, "write a checkpoint every N reporting periods (with -archive-dir)")
+		archBudget = flag.Int64("archive-budget", 0, "archive disk budget in bytes: pruned periods are compacted and, past the budget, the oldest compacted history is aged out (0: keep everything; with -archive-dir and -keep-periods > 0)")
 	)
 	flag.Parse()
 
@@ -142,6 +147,16 @@ func main() {
 		cfg.ArchiveDir = *archiveDir
 		cfg.ArchiveDict = dict
 		cfg.CheckpointEvery = *ckptEvery
+		cfg.ArchiveBudgetBytes = *archBudget
+		if *periods == 0 && *archBudget > 0 {
+			// Without retention no period is ever sealed, so nothing could
+			// be compacted or aged out; drop the budget rather than failing
+			// validation on a flag combination.
+			log.Printf("tagcorrd: -keep-periods 0 retains everything; disabling -archive-budget %d", *archBudget)
+			cfg.ArchiveBudgetBytes = 0
+		}
+	} else if *archBudget > 0 {
+		log.Printf("tagcorrd: -archive-budget %d without -archive-dir; ignoring", *archBudget)
 	}
 
 	src, srcErr, err := buildSource(*in, *minutes, *seed, dict)

@@ -41,17 +41,27 @@ import (
 	"repro/internal/trend"
 )
 
-// Segment record kinds.
+// Segment record kinds. recCoeff/recTrend appear in per-period segments,
+// where the file header pins the period; recCoeffP/recTrendP are their
+// compacted-tier counterparts, carrying an explicit period id (uint64 LE)
+// ahead of the same payload because a compacted file spans many periods.
 const (
-	recCoeff = 1
-	recTrend = 2
+	recCoeff  = 1
+	recTrend  = 2
+	recCoeffP = 3
+	recTrendP = 4
 )
 
 // segMagic opens every segment file, followed by the period id (8 bytes,
-// little endian). ckptMagic opens every checkpoint file.
+// little endian). ckptMagic opens every checkpoint file. cmpMagic opens
+// every compacted segment file, followed by the inclusive [from, to]
+// period range (2×8 bytes, little endian). manMagic is the first line of
+// the compacted-tier MANIFEST.
 const (
 	segMagic  = "TCARSEG1"
 	ckptMagic = "TCARCKP1"
+	cmpMagic  = "TCARCMP1"
+	manMagic  = "TCARMAN1"
 )
 
 // maxRecord bounds a single record's payload; anything larger is treated
@@ -181,3 +191,12 @@ func decodeTrend(payload []byte, period int64) (trend.Event, error) {
 
 // segmentName returns the file name of a period's segment.
 func segmentName(period int64) string { return fmt.Sprintf("period-%d.seg", period) }
+
+// compactName returns the file name of a compacted segment covering the
+// inclusive period range [from, to].
+func compactName(from, to int64) string { return fmt.Sprintf("compact-%d-%d.seg", from, to) }
+
+// manifestName is the compacted tier's index file. It is the sole
+// authority for which compacted files exist and which periods each one
+// contains; it is only ever replaced whole via temp+rename.
+const manifestName = "MANIFEST"

@@ -60,17 +60,18 @@ func TestSegmentRoundTrip(t *testing.T) {
 		t.Errorf("trends = %+v", seg.Trends)
 	}
 
-	// Newest-first pair lookup across periods.
-	c, period, ok, err := rd.LookupPair(tagset.New(1, 2).Key(), 0)
-	if err != nil || !ok || period != 4 || c.CN != 5 {
-		t.Errorf("LookupPair = %+v period=%d ok=%v err=%v", c, period, ok, err)
+	// Newest-first pair lookup across periods. An unbounded scan never
+	// reports truncation.
+	c, period, ok, truncated, err := rd.LookupPair(tagset.New(1, 2).Key(), 0)
+	if err != nil || !ok || period != 4 || c.CN != 5 || truncated {
+		t.Errorf("LookupPair = %+v period=%d ok=%v truncated=%v err=%v", c, period, ok, truncated, err)
 	}
 	// A scan bounded to the newest period must miss the pair reported
-	// only further back.
-	if _, _, ok, err := rd.LookupPair(tagset.New(3, 4).Key(), 1); ok || err != nil {
-		t.Errorf("bounded LookupPair found a pair outside its window (ok=%v err=%v)", ok, err)
+	// only further back — and flag that older periods went unscanned.
+	if _, _, ok, truncated, err := rd.LookupPair(tagset.New(3, 4).Key(), 1); ok || !truncated || err != nil {
+		t.Errorf("bounded LookupPair ok=%v truncated=%v err=%v, want miss with truncated", ok, truncated, err)
 	}
-	if c, period, ok, err := rd.LookupPair(tagset.New(3, 4).Key(), 2); !ok || period != 3 || c.J != 0.8 || err != nil {
+	if c, period, ok, _, err := rd.LookupPair(tagset.New(3, 4).Key(), 2); !ok || period != 3 || c.J != 0.8 || err != nil {
 		t.Errorf("bounded LookupPair = %+v period=%d ok=%v err=%v", c, period, ok, err)
 	}
 }

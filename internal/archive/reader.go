@@ -17,8 +17,12 @@ import (
 
 // maxCachedSegments bounds the Reader's decoded-segment LRU. History
 // queries concentrate on a few hot periods; everything else streams from
-// disk on demand.
-const maxCachedSegments = 8
+// disk on demand. Decoding one compacted file populates up to a fan-in's
+// worth of periods at once, so the bound is sized at twice the
+// compactor's default fan-in: one full compacted file plus hot raw
+// periods fit without thrashing, while large-period archives don't pin
+// hundreds of megabytes of decoded state.
+const maxCachedSegments = 16
 
 // Segment is one decoded period: the deduplicated coefficients (last
 // record wins per tagset, mirroring the Tracker's CN-upgrade semantics)
@@ -39,26 +43,57 @@ func (s *Segment) Coefficient(k tagset.Key) (jaccard.Coefficient, bool) {
 	return c, ok
 }
 
-// Reader serves history queries from an archive directory. It keeps a
-// small LRU of decoded segments, keyed by file size so a segment that is
-// still being appended to (the live periods) is transparently re-decoded
-// when it grows. All methods are safe for concurrent use.
+// fileGen identifies one on-disk generation of a file: compaction replaces
+// files wholesale (a rewritten file can shrink back to a previously seen
+// size), so cache entries are validated against size and mtime together
+// rather than size alone.
+type fileGen struct {
+	size    int64
+	mtimeNS int64
+}
+
+// statGen stats path into a generation key. A missing file returns
+// ok=false with a nil error.
+func statGen(path string) (gen fileGen, ok bool, err error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return fileGen{}, false, nil
+		}
+		return fileGen{}, false, fmt.Errorf("archive: %w", err)
+	}
+	return fileGen{size: fi.Size(), mtimeNS: fi.ModTime().UnixNano()}, true, nil
+}
+
+// Reader serves history queries from an archive directory. Periods are
+// looked up in the raw per-period tier first, then in the compacted tier
+// through the MANIFEST; checking raw before compacted makes the lookup
+// safe against a concurrent compactor, which always publishes the new
+// manifest before deleting the raw files it subsumed. The decoded-segment
+// LRU is keyed by source path + file generation (size and mtime), so both
+// live appends and compaction rewrites invalidate naturally. All methods
+// are safe for concurrent use.
 type Reader struct {
 	dir string
 
 	mu    sync.Mutex
 	cache map[int64]*cachedSegment
 	order []int64 // cached periods, least recently used first
+
+	man    *manifest
+	manGen fileGen
+	manOK  bool
 }
 
 type cachedSegment struct {
-	seg  *Segment
-	size int64
+	seg *Segment
+	src string // path the decode came from (raw or compacted file)
+	gen fileGen
 }
 
 // OpenReader returns a Reader over dir. The directory may be empty or not
 // yet exist (queries then answer empty); it may also be actively written
-// by a live pipeline.
+// by a live pipeline and compactor.
 func OpenReader(dir string) *Reader {
 	return &Reader{dir: dir, cache: make(map[int64]*cachedSegment)}
 }
@@ -66,10 +101,8 @@ func OpenReader(dir string) *Reader {
 // Dir returns the archive directory.
 func (r *Reader) Dir() string { return r.dir }
 
-// Periods lists the period ids with a segment on disk, ascending. It scans
-// the directory on every call, so freshly opened periods appear without
-// invalidation machinery.
-func (r *Reader) Periods() ([]int64, error) {
+// rawPeriods lists the period ids with a raw segment on disk, ascending.
+func (r *Reader) rawPeriods() ([]int64, error) {
 	entries, err := os.ReadDir(r.dir)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -93,43 +126,186 @@ func (r *Reader) Periods() ([]int64, error) {
 	return out, nil
 }
 
-// Segment returns one period's decoded segment, from the LRU when its file
-// has not grown since it was cached. A missing segment returns (nil, nil).
-func (r *Reader) Segment(period int64) (*Segment, error) {
-	path := filepath.Join(r.dir, segmentName(period))
-	fi, err := os.Stat(path)
+// Periods lists the period ids answerable from disk — the raw tier's
+// directory scan merged with the compacted tier's manifest — ascending.
+// It re-checks both tiers on every call, so freshly opened periods and
+// fresh compactions appear without invalidation machinery.
+func (r *Reader) Periods() ([]int64, error) {
+	raw, err := r.rawPeriods()
 	if err != nil {
-		if os.IsNotExist(err) {
-			return nil, nil
-		}
-		return nil, fmt.Errorf("archive: %w", err)
+		return nil, err
 	}
+	man, err := r.loadManifest()
+	if err != nil {
+		return nil, err
+	}
+	if len(man.entries) == 0 {
+		return raw, nil
+	}
+	seen := make(map[int64]bool, len(raw))
+	out := raw
+	for _, p := range raw {
+		seen[p] = true
+	}
+	for _, e := range man.entries {
+		for _, p := range e.periods {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
 
+// loadManifest returns the current compacted-tier manifest, re-reading it
+// from disk only when its generation (size+mtime) changed. A missing
+// manifest is an empty compacted tier, not an error.
+func (r *Reader) loadManifest() (*manifest, error) {
+	path := filepath.Join(r.dir, manifestName)
+	gen, ok, err := statGen(path)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return &manifest{}, nil
+	}
 	r.mu.Lock()
-	if c, ok := r.cache[period]; ok && c.size == fi.Size() {
-		r.touchLocked(period)
+	if r.manOK && r.manGen == gen {
+		m := r.man
 		r.mu.Unlock()
-		return c.seg, nil
+		return m, nil
 	}
 	r.mu.Unlock()
 
-	seg, size, err := decodeSegmentFile(path, period)
+	m, err := readManifestFile(path)
 	if err != nil {
+		if os.IsNotExist(err) {
+			// Replaced-and-aged-out between stat and read; treat as the
+			// next generation will be picked up on the following call.
+			return &manifest{}, nil
+		}
 		return nil, err
 	}
 
 	r.mu.Lock()
+	r.man, r.manGen, r.manOK = m, gen, true
+	r.mu.Unlock()
+	return m, nil
+}
+
+// invalidateManifest drops the cached manifest so the next lookup re-reads
+// it. Used when a compacted file named by the cached manifest turns out to
+// be gone (aged out underneath us).
+func (r *Reader) invalidateManifest() {
+	r.mu.Lock()
+	r.man, r.manGen, r.manOK = nil, fileGen{}, false
+	r.mu.Unlock()
+}
+
+// Segment returns one period's decoded segment, from the LRU when its
+// source file has not changed since it was cached. The raw tier wins over
+// the compacted tier (it is at least as fresh: the compactor deletes raw
+// files only after the manifest covering them is durable). A period found
+// in neither tier returns (nil, nil).
+func (r *Reader) Segment(period int64) (*Segment, error) {
+	path := filepath.Join(r.dir, segmentName(period))
+	gen, ok, err := statGen(path)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		if seg := r.lookupCache(period, path, gen); seg != nil {
+			return seg, nil
+		}
+		seg, size, err := decodeSegmentFile(path, period)
+		if err != nil {
+			return nil, err
+		}
+		// Re-derive the generation from the byte count actually read: if
+		// the file grew between stat and read, caching the pre-read gen
+		// would wrongly serve the longer decode as the shorter
+		// generation's answer. Size mismatch → cache under what was read.
+		gen.size = size
+		r.storeCache(period, &cachedSegment{seg: seg, src: path, gen: gen})
+		return seg, nil
+	}
+	return r.compactedSegment(period, true)
+}
+
+// compactedSegment resolves a period through the manifest. retry allows
+// one manifest re-read when a listed compacted file is missing — the
+// race window where the cached manifest predates an age-out.
+func (r *Reader) compactedSegment(period int64, retry bool) (*Segment, error) {
+	man, err := r.loadManifest()
+	if err != nil {
+		return nil, err
+	}
+	e := man.find(period)
+	if e == nil {
+		return nil, nil
+	}
+	cpath := filepath.Join(r.dir, e.file)
+	gen, ok, err := statGen(cpath)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		if retry {
+			r.invalidateManifest()
+			return r.compactedSegment(period, false)
+		}
+		return nil, nil
+	}
+	if seg := r.lookupCache(period, cpath, gen); seg != nil {
+		return seg, nil
+	}
+	segs, err := decodeCompactFile(cpath)
+	if err != nil {
+		return nil, err
+	}
+	var found *Segment
+	for _, p := range e.periods {
+		seg := segs[p]
+		if seg == nil {
+			// The manifest lists the period (its raw segment existed,
+			// possibly empty of records) but the compacted file holds no
+			// records for it: an empty period is still a period.
+			seg = &Segment{Period: p, byKey: map[tagset.Key]jaccard.Coefficient{}}
+		}
+		r.storeCache(p, &cachedSegment{seg: seg, src: cpath, gen: gen})
+		if p == period {
+			found = seg
+		}
+	}
+	return found, nil
+}
+
+// lookupCache returns the cached segment for period if it was decoded
+// from the same source file generation, else nil.
+func (r *Reader) lookupCache(period int64, src string, gen fileGen) *Segment {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.cache[period]; ok && c.src == src && c.gen == gen {
+		r.touchLocked(period)
+		return c.seg
+	}
+	return nil
+}
+
+func (r *Reader) storeCache(period int64, c *cachedSegment) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if _, ok := r.cache[period]; !ok {
 		r.order = append(r.order, period)
 	}
-	r.cache[period] = &cachedSegment{seg: seg, size: size}
+	r.cache[period] = c
 	r.touchLocked(period)
-	if len(r.order) > maxCachedSegments {
+	for len(r.order) > maxCachedSegments {
 		delete(r.cache, r.order[0])
 		r.order = r.order[1:]
 	}
-	r.mu.Unlock()
-	return seg, nil
 }
 
 func (r *Reader) touchLocked(period int64) {
@@ -149,27 +325,30 @@ func (r *Reader) touchLocked(period int64) {
 // is found. Callers serving unauthenticated traffic should bound the scan
 // — a pair that was never reported would otherwise cost a full decode of
 // the entire archive (and churn the segment LRU) on every request.
-func (r *Reader) LookupPair(k tagset.Key, maxPeriods int) (c jaccard.Coefficient, period int64, ok bool, err error) {
+// truncated reports that the bound left older periods unscanned, so a
+// miss with truncated=true means "not scanned", not "never reported".
+func (r *Reader) LookupPair(k tagset.Key, maxPeriods int) (c jaccard.Coefficient, period int64, ok, truncated bool, err error) {
 	periods, err := r.Periods()
 	if err != nil {
-		return jaccard.Coefficient{}, 0, false, err
+		return jaccard.Coefficient{}, 0, false, false, err
 	}
 	if maxPeriods > 0 && len(periods) > maxPeriods {
 		periods = periods[len(periods)-maxPeriods:]
+		truncated = true
 	}
 	for i := len(periods) - 1; i >= 0; i-- {
 		seg, err := r.Segment(periods[i])
 		if err != nil {
-			return jaccard.Coefficient{}, 0, false, err
+			return jaccard.Coefficient{}, 0, false, truncated, err
 		}
 		if seg == nil {
 			continue
 		}
 		if c, ok := seg.Coefficient(k); ok {
-			return c, periods[i], true, nil
+			return c, periods[i], true, truncated, nil
 		}
 	}
-	return jaccard.Coefficient{}, 0, false, nil
+	return jaccard.Coefficient{}, 0, false, truncated, nil
 }
 
 // decodeSegmentFile streams one segment file into a Segment: records are
@@ -183,66 +362,151 @@ func decodeSegmentFile(path string, period int64) (*Segment, int64, error) {
 	return decodeSegment(data, period), int64(len(data)), nil
 }
 
-// decodeSegment decodes a segment's raw bytes. It accepts arbitrary input
-// — the bytes may come from a crashed writer or a corrupted disk — and
-// never fails: undecodable content only flips Torn and bounds what is
-// returned.
-func decodeSegment(data []byte, period int64) *Segment {
-	seg := &Segment{Period: period, byKey: make(map[tagset.Key]jaccard.Coefficient)}
-	if len(data) < 16 || string(data[:8]) != segMagic ||
-		int64(binary.LittleEndian.Uint64(data[8:16])) != period {
-		seg.Torn = len(data) > 0
-		return seg
-	}
-	trends := make(map[tagset.Key]trend.Event)
-	off := 16
-	for off < len(data) {
-		kind, payload, next, ok := readRecord(data, off)
-		if !ok {
-			seg.Torn = true
-			break
-		}
-		switch kind {
-		case recCoeff:
-			if c, err := decodeCoeff(payload); err == nil {
-				seg.byKey[c.Tags.Key()] = c // last record wins: CN upgrades
-			} else {
-				seg.Torn = true
-			}
-		case recTrend:
-			if ev, err := decodeTrend(payload, period); err == nil {
-				trends[ev.Tags.Key()] = ev // last correction wins
-			} else {
-				seg.Torn = true
-			}
-		}
-		off = next
-	}
+// segAccum accumulates one period's records during a decode, applying the
+// last-record-wins rule for both coefficients (CN upgrades) and trend
+// events (corrections), then finishes into a deterministically sorted
+// Segment.
+type segAccum struct {
+	seg    *Segment
+	trends map[tagset.Key]trend.Event
+}
 
+func newSegAccum(period int64) *segAccum {
+	return &segAccum{
+		seg:    &Segment{Period: period, byKey: make(map[tagset.Key]jaccard.Coefficient)},
+		trends: make(map[tagset.Key]trend.Event),
+	}
+}
+
+func (a *segAccum) coeff(c jaccard.Coefficient) { a.seg.byKey[c.Tags.Key()] = c }
+func (a *segAccum) trend(ev trend.Event)        { a.trends[ev.Tags.Key()] = ev }
+
+func (a *segAccum) finish() *Segment {
+	seg := a.seg
 	seg.Coeffs = make([]jaccard.Coefficient, 0, len(seg.byKey))
 	for _, c := range seg.byKey {
 		seg.Coeffs = append(seg.Coeffs, c)
 	}
 	sort.Slice(seg.Coeffs, func(i, j int) bool {
-		a, b := seg.Coeffs[i], seg.Coeffs[j]
-		if a.J != b.J {
-			return a.J > b.J
+		x, y := seg.Coeffs[i], seg.Coeffs[j]
+		if x.J != y.J {
+			return x.J > y.J
 		}
-		if a.CN != b.CN {
-			return a.CN > b.CN
+		if x.CN != y.CN {
+			return x.CN > y.CN
 		}
-		return a.Tags.Key() < b.Tags.Key()
+		return x.Tags.Key() < y.Tags.Key()
 	})
-	seg.Trends = make([]trend.Event, 0, len(trends))
-	for _, ev := range trends {
+	seg.Trends = make([]trend.Event, 0, len(a.trends))
+	for _, ev := range a.trends {
 		seg.Trends = append(seg.Trends, ev)
 	}
 	sort.Slice(seg.Trends, func(i, j int) bool {
-		a, b := seg.Trends[i], seg.Trends[j]
-		if a.Score != b.Score {
-			return a.Score > b.Score
+		x, y := seg.Trends[i], seg.Trends[j]
+		if x.Score != y.Score {
+			return x.Score > y.Score
 		}
-		return a.Tags.Key() < b.Tags.Key()
+		return x.Tags.Key() < y.Tags.Key()
 	})
 	return seg
+}
+
+// decodeSegment decodes a segment's raw bytes. It accepts arbitrary input
+// — the bytes may come from a crashed writer or a corrupted disk — and
+// never fails: undecodable content only flips Torn and bounds what is
+// returned.
+func decodeSegment(data []byte, period int64) *Segment {
+	acc := newSegAccum(period)
+	if len(data) < 16 || string(data[:8]) != segMagic ||
+		int64(binary.LittleEndian.Uint64(data[8:16])) != period {
+		seg := acc.finish()
+		seg.Torn = len(data) > 0
+		return seg
+	}
+	off := 16
+	for off < len(data) {
+		kind, payload, next, ok := readRecord(data, off)
+		if !ok {
+			acc.seg.Torn = true
+			break
+		}
+		switch kind {
+		case recCoeff:
+			if c, err := decodeCoeff(payload); err == nil {
+				acc.coeff(c)
+			} else {
+				acc.seg.Torn = true
+			}
+		case recTrend:
+			if ev, err := decodeTrend(payload, period); err == nil {
+				acc.trend(ev)
+			} else {
+				acc.seg.Torn = true
+			}
+		}
+		off = next
+	}
+	return acc.finish()
+}
+
+// decodeCompactFile decodes one compacted file into its per-period
+// segments. Unlike raw segments (whose tails can legitimately be torn by
+// a crash mid-append), compacted files are published whole via
+// temp+rename, so framing damage here is reported as an error rather than
+// silently truncating history.
+func decodeCompactFile(path string) (map[int64]*Segment, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	if len(data) < 24 || string(data[:8]) != cmpMagic {
+		return nil, fmt.Errorf("archive: %s: bad compacted-segment header", filepath.Base(path))
+	}
+	from := int64(binary.LittleEndian.Uint64(data[8:16]))
+	to := int64(binary.LittleEndian.Uint64(data[16:24]))
+	accs := make(map[int64]*segAccum)
+	acc := func(p int64) *segAccum {
+		a := accs[p]
+		if a == nil {
+			a = newSegAccum(p)
+			accs[p] = a
+		}
+		return a
+	}
+	off := 24
+	for off < len(data) {
+		kind, payload, next, ok := readRecord(data, off)
+		if !ok {
+			return nil, fmt.Errorf("archive: %s: invalid record at offset %d", filepath.Base(path), off)
+		}
+		if len(payload) < 8 {
+			return nil, fmt.Errorf("archive: %s: short period prefix", filepath.Base(path))
+		}
+		p := int64(binary.LittleEndian.Uint64(payload))
+		if p < from || p > to {
+			return nil, fmt.Errorf("archive: %s: period %d outside range [%d, %d]", filepath.Base(path), p, from, to)
+		}
+		switch kind {
+		case recCoeffP:
+			c, err := decodeCoeff(payload[8:])
+			if err != nil {
+				return nil, fmt.Errorf("archive: %s: %w", filepath.Base(path), err)
+			}
+			acc(p).coeff(c)
+		case recTrendP:
+			ev, err := decodeTrend(payload[8:], p)
+			if err != nil {
+				return nil, fmt.Errorf("archive: %s: %w", filepath.Base(path), err)
+			}
+			acc(p).trend(ev)
+		default:
+			return nil, fmt.Errorf("archive: %s: unknown record kind %d", filepath.Base(path), kind)
+		}
+		off = next
+	}
+	out := make(map[int64]*Segment, len(accs))
+	for p, a := range accs {
+		out[p] = a.finish()
+	}
+	return out, nil
 }

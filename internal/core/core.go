@@ -90,22 +90,46 @@ type Pipeline struct {
 	trends        *trend.Stream // nil unless cfg.Trend
 
 	// Durability (nil / zero unless cfg.ArchiveDir): the segment/checkpoint
-	// writer, the source cursor checkpoints record, and the period counter
-	// driving the checkpoint cadence. archErr remembers the first failed
-	// background checkpoint for ArchiveErr.
+	// writer, the source cursor checkpoints record, the background
+	// compactor maintaining the archive's compacted tier, and the period
+	// counter driving the checkpoint cadence. archErr remembers the first
+	// failed background checkpoint for ArchiveErr.
 	arch          *archive.Writer
 	cursor        *sourceCursor
+	compactor     *archive.Compactor
 	archMu        sync.Mutex
 	archErr       error
 	periodsOpened int64
 
-	// ckptCount / ckptStallNS meter the checkpoint path: completed writes
-	// and cumulative wall time spent in them. Periodic checkpoints run
-	// synchronously on a Tracker task's goroutine (the no-partial-period
-	// cut), so the stall total is hot-path time the benchmark harness
-	// surfaces as checkpoint_stall_ms.
+	// The checkpoint writer goroutine: the period hook just marks a
+	// checkpoint due; ckptLoop builds the state snapshot and does the gob
+	// encode + fsync, all off the hot path. Synchronous Checkpoint callers
+	// enqueue a pre-built snapshot into the single pending slot instead.
+	// Both paths are single-flight, newest-wins: dues coalesce, a newer
+	// pending snapshot replaces an unwritten older one (each snapshot is a
+	// complete recovery point, so skipping a superseded one loses
+	// nothing). ckptWritten is the highest enqueue seq covered by a
+	// completed write; synchronous Checkpoint callers wait on it.
+	ckptMu      sync.Mutex
+	ckptCond    *sync.Cond
+	ckptPending *archive.Checkpoint
+	ckptDue     bool // a periodic checkpoint is due (coalesces)
+	ckptSeq     uint64
+	ckptWritten uint64
+	ckptErr     error // error of the most recent completed write
+	ckptClosed  bool
+	ckptDone    chan struct{}
+
+	// ckptCount counts completed checkpoint writes. ckptStallNS is
+	// cumulative hot-path time: what the period hook spent marking
+	// checkpoints due on a Tracker task's goroutine (the benchmark harness
+	// surfaces it as checkpoint_stall_ms; with the build and write both on
+	// the writer goroutine it is microseconds). ckptWriteNS is the
+	// cumulative background time (state export + encode + fsync) that
+	// used to be the stall before the writer moved off the hot path.
 	ckptCount   atomic.Int64
 	ckptStallNS atomic.Int64
+	ckptWriteNS atomic.Int64
 }
 
 // NewPipeline assembles the topology for the given configuration and input.
@@ -129,6 +153,9 @@ func NewPipeline(cfg Config, src DocumentSource) (*Pipeline, error) {
 		p.arch = w
 		p.cursor = newSourceCursor(cfg.ReportEvery)
 		src = p.cursor.wrap(src)
+		p.ckptCond = sync.NewCond(&p.ckptMu)
+		p.ckptDone = make(chan struct{})
+		go p.ckptLoop()
 	}
 
 	b := storm.NewBuilder()
@@ -222,7 +249,34 @@ func NewPipeline(cfg Config, src DocumentSource) (*Pipeline, error) {
 		topo.SetMaxSpoutPending(cfg.SpoutPending)
 	}
 	p.topo = topo
+
+	// The compactor maintains the archive's compacted tier in the
+	// background. It needs a seal watermark — periods at or below the
+	// retention pruning floor can never be appended to again — so it only
+	// runs when retention is on; an unbounded-retention pipeline never
+	// seals a period for good.
+	if p.arch != nil && cfg.KeepPeriods > 0 {
+		p.compactor = archive.NewCompactor(cfg.ArchiveDir, archive.CompactorConfig{
+			BudgetBytes: cfg.ArchiveBudgetBytes,
+			SafeBelow:   p.archiveSafeBelow,
+		})
+		p.compactor.Start()
+	}
 	return p, nil
+}
+
+// archiveSafeBelow is the compactor's seal watermark: the newest period
+// that neither the Tracker nor the trend detector will ever append to
+// again (both prune independently, so the safe point is the older of the
+// two floors).
+func (p *Pipeline) archiveSafeBelow() int64 {
+	floor := p.tracker.PruneFloor()
+	if p.trends != nil {
+		if tf := p.trends.PruneFloor(); tf < floor {
+			floor = tf
+		}
+	}
+	return floor
 }
 
 // Result summarises one pipeline run.

@@ -87,12 +87,25 @@ type Snapshot struct {
 	TrackerTasks int
 	NotifyBatch  int
 
-	// Checkpoints / CheckpointStallMS meter the durability path: completed
-	// checkpoint writes and the cumulative milliseconds spent in them
-	// (hot-path stall — periodic checkpoints run on a Tracker task's
-	// goroutine). Zero with archiving off.
+	// Checkpoints / CheckpointStallMS / CheckpointWriteMS meter the
+	// durability path: completed checkpoint writes, the cumulative hot-path
+	// milliseconds spent cutting snapshots (the period hook runs on a
+	// Tracker task's goroutine; the encode + fsync happen on a dedicated
+	// writer goroutine), and the cumulative background write milliseconds.
+	// Zero with archiving off.
 	Checkpoints       int64
 	CheckpointStallMS int64
+	CheckpointWriteMS int64
+
+	// ArchiveCompactions / ArchiveCompactedPeriods / ArchiveAgedOutPeriods
+	// / ArchiveBytes meter the archive's background compaction: compacted
+	// files written, raw period segments folded into them, periods deleted
+	// under the disk budget, and the archive directory's size after the
+	// compactor's last pass. Zero without archiving + retention.
+	ArchiveCompactions      int64
+	ArchiveCompactedPeriods int64
+	ArchiveAgedOutPeriods   int64
+	ArchiveBytes            int64
 
 	// Trends is the streaming trend detector's live view (nil unless
 	// Config.Trend is set): the top deviations of the newest scored period
@@ -137,6 +150,12 @@ func (p *Pipeline) Snapshot(k int) *Snapshot {
 	s.CoefficientsReceived, s.CoefficientsDuplicate = tstats.Received, tstats.Duplicates
 	ckpts, stall := p.CheckpointStats()
 	s.Checkpoints, s.CheckpointStallMS = ckpts, stall.Milliseconds()
+	s.CheckpointWriteMS = p.CheckpointWriteTime().Milliseconds()
+	cs := p.CompactorStats()
+	s.ArchiveCompactions = cs.Compactions
+	s.ArchiveCompactedPeriods = cs.CompactedPeriods
+	s.ArchiveAgedOutPeriods = cs.AgedOutPeriods
+	s.ArchiveBytes = cs.DirBytes
 	s.Partitions = p.merger.PartitionsSnapshot()
 
 	for _, d := range p.disseminators {

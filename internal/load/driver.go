@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/procstat"
 	"repro/internal/server"
+	"repro/internal/stream"
 	"repro/internal/tagset"
 )
 
@@ -59,6 +60,15 @@ type Options struct {
 	// ArchiveDir overrides the scratch archive directory of suites that
 	// run with durability on. Empty uses a temp dir, removed afterwards.
 	ArchiveDir string
+
+	// MaxDocsPerSec caps the local ingest rate (0 = closed-loop, as fast
+	// as the pipeline accepts). An unpaced replay on a fast machine can
+	// drain the whole stream before the asynchronously computed first
+	// partitioning installs, leaving the notification/tracking path idle
+	// for the entire run; a ceiling keeps the replay slow enough that the
+	// pipeline's background work engages the way it would on a live
+	// wall-clock stream.
+	MaxDocsPerSec int
 }
 
 // Run executes one suite under the given options and returns its report.
@@ -146,6 +156,22 @@ func serviceConfig(s Suite) core.Config {
 	return cfg
 }
 
+// paceSource wraps a document source with a token-bucket ceiling of dps
+// documents per wall-clock second. The source runs on a single goroutine,
+// so plain counters suffice; sleeping in 1ms slices keeps the effective
+// rate accurate well above the kernel timer granularity.
+func paceSource(src core.DocumentSource, dps int) core.DocumentSource {
+	start := time.Now()
+	var issued float64
+	return func() (stream.Document, bool) {
+		issued++
+		for issued > time.Since(start).Seconds()*float64(dps) {
+			time.Sleep(time.Millisecond)
+		}
+		return src()
+	}
+}
+
 func runLocal(s Suite, opt Options, workers int) (*Report, error) {
 	docs := s.Docs
 	if opt.Docs > 0 {
@@ -155,6 +181,9 @@ func runLocal(s Suite, opt Options, workers int) (*Report, error) {
 	src, err := s.Source(opt.Seed, docs, dict)
 	if err != nil {
 		return nil, err
+	}
+	if opt.MaxDocsPerSec > 0 {
+		src = paceSource(src, opt.MaxDocsPerSec)
 	}
 	cfg := serviceConfig(s)
 
@@ -538,9 +567,19 @@ type historyPeriodsPayload struct {
 }
 
 func queryHistory(cl client, h *Hist, disc *discovery, rng *rand.Rand) {
-	if period, ok := disc.randomPeriod(rng); ok && rng.Intn(2) == 0 {
-		record(cl, h, fmt.Sprintf("/history/topk?period=%d&k=20", period))
-		return
+	// Two thirds of the traffic exercises archived-period reads — split
+	// between /history/topk and /history/trends so the compacted tier is
+	// queried on both record kinds — and the rest refreshes the period
+	// pool from /history/periods.
+	if period, ok := disc.randomPeriod(rng); ok {
+		switch rng.Intn(3) {
+		case 0:
+			record(cl, h, fmt.Sprintf("/history/topk?period=%d&k=20", period))
+			return
+		case 1:
+			record(cl, h, fmt.Sprintf("/history/trends?period=%d&k=20", period))
+			return
+		}
 	}
 	status, body := record(cl, h, "/history/periods")
 	if status != http.StatusOK || body == nil {

@@ -84,7 +84,12 @@ func TestSmokeSuiteReport(t *testing.T) {
 	if !ok {
 		t.Fatal("smoke suite missing")
 	}
-	rep, err := Run(s, Options{Seed: 1, Docs: 5000})
+	// Paced: an unpaced replay on a fast machine can drain the stream
+	// before the first partitioning installs, in which case no coefficient
+	// ever reaches the Tracker and the report legitimately carries zero
+	// periods. The ceiling keeps the replay slow enough that partitioning
+	// engages deterministically, making periods >= 1 assertable.
+	rep, err := Run(s, Options{Seed: 1, Docs: 5000, MaxDocsPerSec: 2000})
 	if err != nil {
 		t.Fatal(err)
 	}

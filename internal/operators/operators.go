@@ -244,6 +244,15 @@ type Config struct {
 	// periods (0: every period). Only meaningful with ArchiveDir.
 	CheckpointEvery int
 
+	// ArchiveBudgetBytes bounds the archive directory's total size: the
+	// background compactor coalesces runs of pruned per-period segments
+	// into compacted files and, past the budget, ages out the oldest
+	// compacted files (oldest history first) until the directory fits.
+	// 0 keeps everything. Requires ArchiveDir and KeepPeriods > 0 — only
+	// periods behind the retention pruning floor are sealed forever and
+	// thus safe to compact.
+	ArchiveBudgetBytes int64
+
 	// CalibrateRefs replaces the Merger's partition-level reference
 	// quality with the first statistics batch measured on live traffic
 	// after each install. The paper's design (and the default) uses the
@@ -337,6 +346,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("operators: ArchiveDir requires ArchiveDict (the stream's tag dictionary)")
 	case c.EvictedPairs > 0 && c.KeepPeriods == 0:
 		return fmt.Errorf("operators: evictedPairs = %d with keepPeriods = 0 (nothing is ever pruned into the LRU)", c.EvictedPairs)
+	case c.ArchiveBudgetBytes < 0:
+		return fmt.Errorf("operators: archiveBudgetBytes = %d", c.ArchiveBudgetBytes)
+	case c.ArchiveBudgetBytes > 0 && c.ArchiveDir == "":
+		return fmt.Errorf("operators: archiveBudgetBytes = %d without ArchiveDir (no archive to bound)", c.ArchiveBudgetBytes)
+	case c.ArchiveBudgetBytes > 0 && c.KeepPeriods == 0:
+		return fmt.Errorf("operators: archiveBudgetBytes = %d with keepPeriods = 0 (without retention no period is ever sealed, so nothing can be compacted or aged out)", c.ArchiveBudgetBytes)
 	}
 	return nil
 }

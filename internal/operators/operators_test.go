@@ -88,6 +88,17 @@ func TestConfigValidate(t *testing.T) {
 		{"evictedPairs without keepPeriods", func(c *Config) {
 			c.EvictedPairs = 1024
 		}, false},
+		{"negative archiveBudget", func(c *Config) {
+			c.ArchiveBudgetBytes = -1
+		}, false},
+		{"archiveBudget without archiveDir", func(c *Config) {
+			c.ArchiveBudgetBytes = 1 << 20
+		}, false},
+		{"archiveBudget without keepPeriods", func(c *Config) {
+			c.ArchiveDir = t.TempDir()
+			c.ArchiveDict = tagset.NewDictionary()
+			c.ArchiveBudgetBytes = 1 << 20
+		}, false},
 
 		// The combinations the daemon and the benchmark harness actually
 		// run with must stay accepted.
@@ -99,6 +110,12 @@ func TestConfigValidate(t *testing.T) {
 		{"bounded retention with LRU", func(c *Config) {
 			c.KeepPeriods = 8
 			c.EvictedPairs = 4096
+		}, true},
+		{"archive with budget", func(c *Config) {
+			c.ArchiveDir = t.TempDir()
+			c.ArchiveDict = tagset.NewDictionary()
+			c.KeepPeriods = 8
+			c.ArchiveBudgetBytes = 64 << 20
 		}, true},
 		{"defaulted zeros", func(c *Config) {
 			c.TrackerShards = 0

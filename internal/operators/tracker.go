@@ -279,6 +279,17 @@ func (tr *Tracker) shardOf(k tagset.Key) *trackerShard {
 	return tr.shards[routeHash(k)&tr.mask]
 }
 
+// PruneFloor returns the retention pruning floor: every period at or
+// below it has been pruned, and late reports for those periods are
+// rejected, so their archived segments can never grow again
+// (math.MinInt64 before the first prune). The archive compactor uses it
+// as the seal watermark.
+func (tr *Tracker) PruneFloor() int64 {
+	tr.reg.mu.RLock()
+	defer tr.reg.mu.RUnlock()
+	return tr.reg.floor
+}
+
 // Periods returns the retained reporting period ids in ascending order.
 func (tr *Tracker) Periods() []int64 {
 	tr.reg.mu.RLock()

@@ -26,12 +26,17 @@
 //	/history/periods      reporting periods archived on disk
 //	/history/topk?period=P[&k=N]  top-N coefficients of one archived period
 //	/history/pairs/{tagA}/{tagB}[?period=P]  archived coefficient of a pair
+//	/history/trends?period=P[&k=N]  ranked trend deviations of one archived period
 //
 // The history endpoints serve from the archive directory's segment files
 // (Config.History, an archive.Reader) with a small LRU of decoded
 // segments, so they answer for periods arbitrarily far past the Tracker's
-// retention window — including periods pruned from memory and runs of a
-// previous process. They answer 404 when the pipeline runs unarchived.
+// retention window — including periods pruned from memory, runs of a
+// previous process, and periods folded into the compacted tier. They
+// answer 404 when the pipeline runs unarchived. A /history/pairs miss
+// without ?period= carries a "truncated" field: true means the bounded
+// newest-first scan (Config.HistoryPairScan) stopped before the oldest
+// archived period, so the pair may exist in the unscanned remainder.
 //
 // The trend endpoints require the pipeline to run with Config.Trend; they
 // answer 404 otherwise. /trends serves from the cached snapshot; the
@@ -73,6 +78,11 @@ type Config struct {
 	// pipeline archives into for live + historical queries from one
 	// surface.
 	History *archive.Reader
+	// HistoryPairScan bounds the newest-first segment scan behind
+	// /history/pairs without ?period=: a pair that was never reported
+	// must not cost a decode of the entire archive per request. A miss
+	// that hit the bound reports truncated=true. Default 64.
+	HistoryPairScan int
 }
 
 // withDefaults fills unset fields.
@@ -82,6 +92,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Refresh <= 0 {
 		c.Refresh = 250 * time.Millisecond
+	}
+	if c.HistoryPairScan <= 0 {
+		c.HistoryPairScan = 64
 	}
 	return c
 }
@@ -184,6 +197,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /history/periods", s.handleHistoryPeriods)
 	mux.HandleFunc("GET /history/topk", s.handleHistoryTopK)
 	mux.HandleFunc("GET /history/pairs/{tagA}/{tagB}", s.handleHistoryPair)
+	mux.HandleFunc("GET /history/trends", s.handleHistoryTrends)
 	return mux
 }
 
@@ -477,11 +491,6 @@ func (s *Server) history(w http.ResponseWriter) *archive.Reader {
 	return s.cfg.History
 }
 
-// historyPairScanLimit bounds the newest-first segment scan behind
-// /history/pairs without ?period=: a pair that was never reported must
-// not cost a decode of the entire archive per request.
-const historyPairScanLimit = 64
-
 // historyCoefficients renders archived coefficients. Unlike the live
 // path it uses the placeholder-tolerant Names: a segment written by a
 // previous process (or after the last checkpoint) can reference tags the
@@ -599,9 +608,10 @@ func (s *Server) handleHistoryPair(w http.ResponseWriter, r *http.Request) {
 	}
 
 	var (
-		c      jaccard.Coefficient
-		period int64
-		ok     bool
+		c         jaccard.Coefficient
+		period    int64
+		ok        bool
+		truncated bool
 	)
 	if v := r.URL.Query().Get("period"); v != "" {
 		p, err := strconv.ParseInt(v, 10, 64)
@@ -620,17 +630,100 @@ func (s *Server) handleHistoryPair(w http.ResponseWriter, r *http.Request) {
 		}
 	} else {
 		var err error
-		c, period, ok, err = rd.LookupPair(set.Key(), historyPairScanLimit)
+		c, period, ok, truncated, err = rd.LookupPair(set.Key(), s.cfg.HistoryPairScan)
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
 	}
 	if !ok {
-		httpError(w, http.StatusNotFound, "no archived coefficient for pair")
+		// truncated distinguishes "never archived" (false) from "not in
+		// the newest HistoryPairScan periods; older ones were not
+		// scanned" (true) — without it, a pair older than the scan bound
+		// would 404 exactly like a pair that never existed.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		writeJSON(w, map[string]interface{}{
+			"error":     "no archived coefficient for pair",
+			"truncated": truncated,
+		})
 		return
 	}
 	writeJSON(w, HistoryPairResponse{Tags: s.dict.Names(c.Tags), J: c.J, CN: c.CN, Period: period})
+}
+
+// HistoryTrendsResponse is the /history/trends payload: one archived
+// period's scored trend deviations, ranked by descending score, decoded
+// from the same segments /history/topk serves. It answers for any
+// archived period — including ones whose events predate this process —
+// regardless of whether the live pipeline runs with trend detection.
+type HistoryTrendsResponse struct {
+	Period      int64        `json:"period"`
+	K           int          `json:"k"`
+	Torn        bool         `json:"torn,omitempty"`
+	TrendEvents int          `json:"trend_events"` // total archived for the period
+	Top         []TrendEvent `json:"top"`
+}
+
+func (s *Server) handleHistoryTrends(w http.ResponseWriter, r *http.Request) {
+	rd := s.history(w)
+	if rd == nil {
+		return
+	}
+	q := r.URL.Query()
+	period, err := strconv.ParseInt(q.Get("period"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "period must be an integer")
+		return
+	}
+	k := 20
+	if v := q.Get("k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "k must be a positive integer")
+			return
+		}
+		k = n
+	}
+	seg, err := rd.Segment(period)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if seg == nil {
+		httpError(w, http.StatusNotFound, "no archived segment for period")
+		return
+	}
+	top := seg.Trends
+	if len(top) > k {
+		top = top[:k]
+	}
+	resp := HistoryTrendsResponse{
+		Period:      period,
+		K:           k,
+		Torn:        seg.Torn,
+		TrendEvents: len(seg.Trends),
+		Top:         make([]TrendEvent, len(top)),
+	}
+	for i, e := range top {
+		resp.Top[i] = s.historyTrendEvent(e)
+	}
+	writeJSON(w, resp)
+}
+
+// historyTrendEvent renders an archived trend event. Like
+// historyCoefficients it uses the placeholder-tolerant Names: archived
+// events can reference tags the rebuilt dictionary has not re-interned.
+func (s *Server) historyTrendEvent(e trend.Event) TrendEvent {
+	return TrendEvent{
+		Tags:      s.dict.Names(e.Tags),
+		Period:    e.Period,
+		Predicted: e.Predicted,
+		Observed:  e.Observed,
+		Score:     e.Score,
+		Rising:    e.Rising,
+		CN:        e.CN,
+	}
 }
 
 // PartitionInfo is one partition in the /partition payload.
@@ -703,14 +796,24 @@ type StatsResponse struct {
 	TrackerTasks int `json:"tracker_tasks"`
 	NotifyBatch  int `json:"notify_batch"`
 
-	// Checkpoints / CheckpointStallMS meter the durability path (0 with
-	// archiving off): completed checkpoint writes and the cumulative
-	// milliseconds the hot path spent blocked in them. RSSBytes is the
-	// process resident set size (0 on platforms without /proc). These are
-	// the fields the cmd/loadgen driver scrapes between query rounds.
-	Checkpoints       int64 `json:"checkpoints"`
-	CheckpointStallMS int64 `json:"checkpoint_stall_ms"`
-	RSSBytes          int64 `json:"rss_bytes"`
+	// Checkpoints / CheckpointStallMS / CheckpointWriteMS meter the
+	// durability path (0 with archiving off): completed checkpoint writes,
+	// the cumulative milliseconds the hot path spent cutting snapshots,
+	// and the cumulative milliseconds the background writer spent encoding
+	// + fsyncing them. The archive_* fields meter background compaction:
+	// compacted files written, raw periods folded into them, periods aged
+	// out under the disk budget, and the directory size after the
+	// compactor's last pass. RSSBytes is the process resident set size
+	// (0 on platforms without /proc). These are the fields the cmd/loadgen
+	// driver scrapes between query rounds.
+	Checkpoints             int64 `json:"checkpoints"`
+	CheckpointStallMS       int64 `json:"checkpoint_stall_ms"`
+	CheckpointWriteMS       int64 `json:"checkpoint_write_ms"`
+	ArchiveCompactions      int64 `json:"archive_compactions"`
+	ArchiveCompactedPeriods int64 `json:"archive_compacted_periods"`
+	ArchiveAgedOutPeriods   int64 `json:"archive_aged_out_periods"`
+	ArchiveBytes            int64 `json:"archive_bytes"`
+	RSSBytes                int64 `json:"rss_bytes"`
 
 	Tracker TrackerStats `json:"tracker"`
 	Trends  *TrendStats  `json:"trends,omitempty"`
@@ -803,9 +906,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		TrackerTasks: snap.TrackerTasks,
 		NotifyBatch:  snap.NotifyBatch,
 
-		Checkpoints:       snap.Checkpoints,
-		CheckpointStallMS: snap.CheckpointStallMS,
-		RSSBytes:          procstat.RSSBytes(),
+		Checkpoints:             snap.Checkpoints,
+		CheckpointStallMS:       snap.CheckpointStallMS,
+		CheckpointWriteMS:       snap.CheckpointWriteMS,
+		ArchiveCompactions:      snap.ArchiveCompactions,
+		ArchiveCompactedPeriods: snap.ArchiveCompactedPeriods,
+		ArchiveAgedOutPeriods:   snap.ArchiveAgedOutPeriods,
+		ArchiveBytes:            snap.ArchiveBytes,
+		RSSBytes:                procstat.RSSBytes(),
 
 		Tracker: TrackerStats{
 			Shards:          snap.Tracker.Shards,

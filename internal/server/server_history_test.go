@@ -1,14 +1,20 @@
 package server
 
 import (
+	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strconv"
 	"testing"
 	"time"
 
 	"repro/internal/archive"
 	"repro/internal/core"
+	"repro/internal/jaccard"
 	"repro/internal/stream"
 	"repro/internal/tagset"
 	"repro/internal/twitgen"
@@ -113,9 +119,34 @@ func TestHistoryEndpoints(t *testing.T) {
 		t.Fatalf("newest-first lookup returned period %d < %d", newest.Period, oldest)
 	}
 
+	// Archived trend deviations answer for the pruned period too, ranked
+	// by descending score. At least one archived period must carry events
+	// (the run scores trends throughout); per-period counts may be zero.
+	totalEvents := 0
+	for _, p := range periods.Periods {
+		var trends HistoryTrendsResponse
+		getJSON(t, ts.Client(), ts.URL+"/history/trends?period="+itoa(p)+"&k=10", &trends)
+		if trends.Period != p {
+			t.Fatalf("history trends period = %d, want %d", trends.Period, p)
+		}
+		totalEvents += trends.TrendEvents
+		for i := 1; i < len(trends.Top); i++ {
+			if trends.Top[i].Score > trends.Top[i-1].Score {
+				t.Fatalf("history trends not ranked: %+v", trends.Top)
+			}
+		}
+		if len(trends.Top) > 10 {
+			t.Fatalf("k not applied to trends: %d results", len(trends.Top))
+		}
+	}
+	if totalEvents == 0 {
+		t.Error("no archived trend events in any period")
+	}
+
 	// Unknown period and unknown tag answer 404.
 	for _, url := range []string{
 		ts.URL + "/history/topk?period=99999",
+		ts.URL + "/history/trends?period=99999",
 		ts.URL + "/history/pairs/no-such-tag/other",
 	} {
 		resp, err := ts.Client().Get(url)
@@ -160,7 +191,7 @@ func TestHistoryDisabled(t *testing.T) {
 	defer ts.Close()
 	h.Wait()
 
-	for _, path := range []string{"/history/periods", "/history/topk?period=1", "/history/pairs/a/b"} {
+	for _, path := range []string{"/history/periods", "/history/topk?period=1", "/history/trends?period=1", "/history/pairs/a/b"} {
 		resp, err := ts.Client().Get(ts.URL + path)
 		if err != nil {
 			t.Fatal(err)
@@ -170,6 +201,197 @@ func TestHistoryDisabled(t *testing.T) {
 			t.Errorf("GET %s without archive: status %d, want 404", path, resp.StatusCode)
 		}
 	}
+}
+
+// TestHistoryAfterCompaction is the serving-layer differential of the
+// archive compactor: every /history endpoint must return byte-identical
+// JSON before and after the raw segments are folded into the compacted
+// tier, through the same server and Reader that were already open across
+// the boundary. It also pins down the truncated-scan semantics on both
+// tiers: a bounded miss reports truncated=true, a genuine never-archived
+// miss reports truncated=false.
+func TestHistoryAfterCompaction(t *testing.T) {
+	dict := tagset.NewDictionary()
+	gcfg := twitgen.Default()
+	gcfg.Seed = 29
+	gcfg.TPS = 1000
+	gcfg.TaggedFraction = 0.5
+	gcfg.Topics = 40
+	gcfg.TagsPerTopic = 8
+	gen, err := twitgen.New(gcfg, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := gen.Generate(36000)
+
+	cfg := core.DefaultConfig()
+	cfg.K = 4
+	cfg.P = 3
+	cfg.WindowSpan = stream.Seconds(5)
+	cfg.ReportEvery = stream.Seconds(5)
+	cfg.StatsEvery = 500
+	cfg.KeepPeriods = 2
+	cfg.EvictedPairs = 0
+	cfg.NoSeries = true
+	cfg.Trend = true
+	cfg.TrendMinSupport = 2
+	cfg.ArchiveDir = t.TempDir()
+	cfg.ArchiveDict = dict
+
+	pipe, err := core.NewPipeline(cfg, core.SliceSource(docs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := pipe.Start()
+	srv := New(pipe, h, dict, Config{
+		TopK:    50,
+		Refresh: 5 * time.Millisecond,
+		History: archive.OpenReader(cfg.ArchiveDir),
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	h.Wait()
+	if err := pipe.ArchiveErr(); err != nil {
+		t.Fatalf("archive error: %v", err)
+	}
+
+	var periods HistoryPeriodsResponse
+	getJSON(t, ts.Client(), ts.URL+"/history/periods", &periods)
+	if periods.Count < 5 {
+		t.Fatalf("archived periods = %v; need >= 5 for a compacted/raw mix", periods.Periods)
+	}
+
+	// The pipeline's own background compactor may already have folded the
+	// early periods during the run, so pick the oldest period that still has
+	// a raw segment: appending there is crash-safe (never shadowed by the
+	// manifest) and, with the retention window keeping the newest periods
+	// raw, it is guaranteed to sit below the newest period — out of reach of
+	// a one-period bounded scan.
+	rawSegs, err := filepath.Glob(filepath.Join(cfg.ArchiveDir, "period-*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rawSegs) < 2 {
+		t.Fatalf("raw segments on disk = %v; need >= 2 for a fold plus an older-than-newest target", rawSegs)
+	}
+	var oldest int64
+	for i, seg := range rawSegs {
+		var p int64
+		if _, err := fmt.Sscanf(filepath.Base(seg), "period-%d.seg", &p); err != nil {
+			t.Fatalf("unparseable segment name %q: %v", seg, err)
+		}
+		if i == 0 || p < oldest {
+			oldest = p
+		}
+	}
+
+	// A synthetic pair archived only in that oldest raw period: the bounded
+	// newest-first scan can never reach it, the unbounded one must.
+	onlyA, onlyB := dict.Intern("compaction-only-a"), dict.Intern("compaction-only-b")
+	aw, err := archive.OpenWriter(cfg.ArchiveDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aw.AppendCoefficient(oldest, jaccard.Coefficient{Tags: tagset.New(onlyA, onlyB), J: 0.42, CN: 3})
+	aw.Close()
+	dict.Intern("never-reported-a")
+	dict.Intern("never-reported-b")
+
+	urls := []string{
+		"/history/periods",
+		"/history/pairs/compaction-only-a/compaction-only-b",
+		"/history/pairs/compaction-only-a/compaction-only-b?period=" + itoa(oldest),
+	}
+	for _, p := range periods.Periods {
+		urls = append(urls,
+			"/history/topk?period="+itoa(p)+"&k=1000",
+			"/history/trends?period="+itoa(p)+"&k=1000")
+	}
+	capture := func() map[string]string {
+		out := make(map[string]string, len(urls))
+		for _, u := range urls {
+			status, body := getBody(t, ts.Client(), ts.URL+u)
+			if status != http.StatusOK {
+				t.Fatalf("GET %s: status %d body %s", u, status, body)
+			}
+			out[u] = body
+		}
+		return out
+	}
+	before := capture()
+
+	// Compact whatever raw segments survived the in-run compactor. FanIn 2
+	// guarantees at least one full run folds (>= 2 raw segments exist), and
+	// the fold must cover the synthetic pair's period — the oldest raw one.
+	comp := archive.NewCompactor(cfg.ArchiveDir, archive.CompactorConfig{FanIn: 2})
+	if err := comp.RunOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if st := comp.Stats(); st.CompactedPeriods < 2 {
+		t.Fatalf("compactor folded %d periods, want >= 2 (stats %+v)", st.CompactedPeriods, st)
+	}
+	if _, err := os.Stat(filepath.Join(cfg.ArchiveDir, fmt.Sprintf("period-%d.seg", oldest))); !os.IsNotExist(err) {
+		t.Fatalf("synthetic pair's period %d still raw after compaction (stat err=%v)", oldest, err)
+	}
+
+	after := capture()
+	for _, u := range urls {
+		if before[u] != after[u] {
+			t.Errorf("%s diverged across compaction:\nbefore %s\nafter  %s", u, before[u], after[u])
+		}
+	}
+
+	// Bounded scan (one period) on a second server over the same archive:
+	// the oldest-period-only pair misses with truncated=true; pinned to its
+	// period it still answers through the compacted tier; a pair that was
+	// never archived misses with truncated=false on the unbounded server.
+	srv2 := New(pipe, h, dict, Config{
+		TopK:            50,
+		Refresh:         5 * time.Millisecond,
+		History:         archive.OpenReader(cfg.ArchiveDir),
+		HistoryPairScan: 1,
+	})
+	defer srv2.Close()
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+
+	var miss struct {
+		Error     string `json:"error"`
+		Truncated bool   `json:"truncated"`
+	}
+	status, body := getBody(t, ts2.Client(), ts2.URL+"/history/pairs/compaction-only-a/compaction-only-b")
+	if status != http.StatusNotFound {
+		t.Fatalf("bounded scan: status %d body %s", status, body)
+	}
+	if err := json.Unmarshal([]byte(body), &miss); err != nil || !miss.Truncated {
+		t.Fatalf("bounded miss = %s (err=%v), want truncated=true", body, err)
+	}
+	if status, body = getBody(t, ts2.Client(), ts2.URL+"/history/pairs/compaction-only-a/compaction-only-b?period="+itoa(oldest)); status != http.StatusOK {
+		t.Fatalf("pinned lookup through compacted tier: status %d body %s", status, body)
+	}
+	status, body = getBody(t, ts.Client(), ts.URL+"/history/pairs/never-reported-a/never-reported-b")
+	if status != http.StatusNotFound {
+		t.Fatalf("never-archived pair: status %d body %s", status, body)
+	}
+	if err := json.Unmarshal([]byte(body), &miss); err != nil || miss.Truncated {
+		t.Fatalf("never-archived miss = %s (err=%v), want truncated=false", body, err)
+	}
+}
+
+// getBody fetches url and returns the status code and raw body.
+func getBody(t *testing.T, client *http.Client, url string) (int, string) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
 }
 
 func itoa(v int64) string { return strconv.FormatInt(v, 10) }

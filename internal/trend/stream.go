@@ -433,6 +433,17 @@ func (s *Stream) Config() StreamConfig { return s.cfg }
 // (math.MinInt64 before the first event).
 func (s *Stream) LatestPeriod() int64 { return atomic.LoadInt64(&s.latest) }
 
+// PruneFloor returns the retention pruning floor: every period at or
+// below it has been evicted and late observations for those periods are
+// dropped, so their archived trend events can never grow again
+// (math.MinInt64 before the first prune). The archive compactor uses it
+// as the seal watermark.
+func (s *Stream) PruneFloor() int64 {
+	s.reg.mu.Lock()
+	defer s.reg.mu.Unlock()
+	return s.reg.floor
+}
+
 // Periods returns the period ids with live trend state, ascending.
 func (s *Stream) Periods() []int64 {
 	s.reg.mu.Lock()
