@@ -10,6 +10,7 @@
 //	loadgen -suite steady -mode http          # same pipeline, over TCP
 //	loadgen -suite steady -target http://host:8080 -duration 60s
 //	loadgen -suite smoke -baseline BENCH_smoke.json   # regression gate
+//	loadgen -suite smoke -metrics-out                 # + METRICS_smoke.prom scrape dump
 //
 // With -baseline, loadgen exits non-zero when ingest throughput regressed
 // more than -max-regress (default 25%) against the baseline report — the
@@ -23,6 +24,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -42,6 +44,7 @@ func main() {
 		baseline   = flag.String("baseline", "", "BENCH report to gate ingest throughput against")
 		maxRegress = flag.Float64("max-regress", 0.25, "maximum allowed ingest throughput regression vs -baseline")
 		pace       = flag.Int("pace", 0, "cap local ingest at this many docs/sec (0: closed-loop)")
+		metricsOut = flag.Bool("metrics-out", false, "dump the final /metrics scrape as METRICS_<suite>.prom next to the BENCH report")
 	)
 	flag.Parse()
 
@@ -78,6 +81,9 @@ func main() {
 	var reports []*load.Report
 	for _, s := range suites {
 		log.Printf("loadgen: suite %s (%s): %d docs, seed %d", s.Name, s.Description, s.Docs, *seed)
+		if *metricsOut {
+			opt.MetricsOut = filepath.Join(*out, "METRICS_"+s.Name+".prom")
+		}
 		rep, err := load.Run(s, opt)
 		if err != nil {
 			log.Fatalf("loadgen: suite %s: %v", s.Name, err)

@@ -13,6 +13,7 @@
 //	curl -N localhost:8080/events
 //	curl localhost:8080/partition
 //	curl localhost:8080/stats
+//	curl localhost:8080/metrics
 //	curl localhost:8080/healthz
 //	curl localhost:8080/history/periods
 //	curl 'localhost:8080/history/topk?period=3&k=10'
@@ -30,6 +31,12 @@
 // -archive-budget, ages out the oldest compacted history to keep the
 // directory under the byte budget.
 //
+// Observability: GET /metrics serves the full Prometheus text exposition
+// (pipeline counters, stage-latency histograms, per-route request
+// latency); -debug-addr serves net/http/pprof on a separate listener;
+// logs are structured log/slog records on stderr, shaped by -log-format
+// (text or json) and filtered by -log-level.
+//
 // On SIGINT/SIGTERM the daemon drains gracefully: a checkpoint is written
 // (so even a killed drain stays recoverable), the source stops, the
 // in-flight tuples flush, a final snapshot and end-of-run checkpoint are
@@ -41,8 +48,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registered on the DefaultServeMux, served only via -debug-addr
 	"os"
 	"os/signal"
 	"sync"
@@ -89,8 +97,31 @@ func main() {
 		archiveDir = flag.String("archive-dir", "", "durability directory: per-period segments + checkpoints; serves /history and enables crash recovery (empty: off)")
 		ckptEvery  = flag.Int("checkpoint-every", 1, "write a checkpoint every N reporting periods (with -archive-dir)")
 		archBudget = flag.Int64("archive-budget", 0, "archive disk budget in bytes: pruned periods are compacted and, past the budget, the oldest compacted history is aged out (0: keep everything; with -archive-dir and -keep-periods > 0)")
+
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty: off)")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	)
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tagcorrd: %v\n", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
+
+	// The query server builds its own mux, so the DefaultServeMux carries
+	// nothing but the pprof handlers net/http/pprof registered — serving it
+	// on a separate listener keeps profiling off the public query address.
+	if *debugAddr != "" {
+		go func() {
+			slog.Info("pprof debug server listening", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				slog.Error("debug server failed", "err", err)
+			}
+		}()
+	}
 
 	cfg := core.DefaultConfig()
 	cfg.Algorithm = partition.Algorithm(*alg)
@@ -110,7 +141,7 @@ func main() {
 		// Unbounded retention never prunes, so there is nothing for the
 		// evicted-pair LRU to catch; drop it rather than failing validation
 		// on the flag default.
-		log.Printf("tagcorrd: -keep-periods 0 retains everything; disabling -evicted-pairs %d", *evicted)
+		slog.Warn("-keep-periods 0 retains everything; disabling evicted-pair LRU", "evicted_pairs", *evicted)
 		cfg.EvictedPairs = 0
 	}
 	cfg.SpoutPending = *pending
@@ -134,15 +165,16 @@ func main() {
 	if *archiveDir != "" {
 		var err error
 		if rec, err = core.Restore(*archiveDir); err != nil {
-			log.Fatalf("tagcorrd: restore %s: %v", *archiveDir, err)
+			fatal("restore failed", "dir", *archiveDir, "err", err)
 		}
 		if rec != nil {
 			dict = rec.Dictionary()
 			periods := rec.Periods()
-			log.Printf("tagcorrd: recovered %d periods %v from %s (epoch %d); resuming source at document %d",
-				len(periods), periods, *archiveDir, rec.Epoch(), rec.SkipDocs())
+			slog.Info("recovered from checkpoint", "dir", *archiveDir,
+				"periods", len(periods), "period_ids", periods,
+				"epoch", rec.Epoch(), "resume_doc", rec.SkipDocs())
 		} else {
-			log.Printf("tagcorrd: no checkpoint in %s; starting fresh", *archiveDir)
+			slog.Info("no checkpoint found; starting fresh", "dir", *archiveDir)
 		}
 		cfg.ArchiveDir = *archiveDir
 		cfg.ArchiveDict = dict
@@ -152,16 +184,16 @@ func main() {
 			// Without retention no period is ever sealed, so nothing could
 			// be compacted or aged out; drop the budget rather than failing
 			// validation on a flag combination.
-			log.Printf("tagcorrd: -keep-periods 0 retains everything; disabling -archive-budget %d", *archBudget)
+			slog.Warn("-keep-periods 0 retains everything; disabling archive budget", "archive_budget", *archBudget)
 			cfg.ArchiveBudgetBytes = 0
 		}
 	} else if *archBudget > 0 {
-		log.Printf("tagcorrd: -archive-budget %d without -archive-dir; ignoring", *archBudget)
+		slog.Warn("-archive-budget without -archive-dir; ignoring", "archive_budget", *archBudget)
 	}
 
 	src, srcErr, err := buildSource(*in, *minutes, *seed, dict)
 	if err != nil {
-		log.Fatalf("tagcorrd: %v", err)
+		fatal("building document source failed", "err", err)
 	}
 	if rec != nil {
 		src = rec.FastForward(src)
@@ -173,10 +205,10 @@ func main() {
 
 	pipe, err := core.NewPipeline(cfg, src)
 	if err != nil {
-		log.Fatalf("tagcorrd: %v", err)
+		fatal("pipeline construction failed", "err", err)
 	}
 	if err := pipe.Adopt(rec); err != nil {
-		log.Fatalf("tagcorrd: adopt recovered state: %v", err)
+		fatal("adopting recovered state failed", "err", err)
 	}
 	h := pipe.Start()
 	scfg := server.Config{TopK: *topk, Refresh: *refresh}
@@ -187,10 +219,10 @@ func main() {
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	go func() {
-		log.Printf("tagcorrd: serving on %s (algorithm=%s k=%d P=%d thr=%g)",
-			*addr, cfg.Algorithm, cfg.K, cfg.P, cfg.Thr)
+		slog.Info("serving", "addr", *addr,
+			"algorithm", string(cfg.Algorithm), "k", cfg.K, "p", cfg.P, "thr", cfg.Thr)
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("tagcorrd: %v", err)
+			fatal("http server failed", "err", err)
 		}
 	}()
 
@@ -198,27 +230,27 @@ func main() {
 	// daemon keeps serving the final state until a signal arrives.
 	go func() {
 		h.Wait()
-		log.Printf("tagcorrd: stream drained; serving final state until shutdown")
+		slog.Info("stream drained; serving final state until shutdown")
 	}()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	log.Printf("tagcorrd: shutting down, draining stream")
+	slog.Info("shutting down, draining stream")
 
 	// Write a checkpoint before draining: if the drain itself is killed,
 	// the next start still recovers to this moment. The drain's own
 	// end-of-run checkpoint (written inside Wait) then supersedes it.
 	if *archiveDir != "" && h.Running() {
 		if err := pipe.Checkpoint(); err != nil {
-			log.Printf("tagcorrd: pre-drain checkpoint: %v", err)
+			slog.Error("pre-drain checkpoint failed", "err", err)
 		}
 	}
 	stop()
 	res := h.Wait()
 	srv.Close() // final snapshot: the cache now holds the end-of-run state
 	if err := pipe.ArchiveErr(); err != nil {
-		log.Printf("tagcorrd: archive checkpoint error during run: %v", err)
+		slog.Error("archive checkpoint error during run", "err", err)
 	}
 
 	fmt.Printf("# docs=%d (bootstrap %d) communication=%.3f loadGini=%.3f\n",
@@ -230,14 +262,40 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		log.Printf("tagcorrd: http shutdown: %v", err)
+		slog.Error("http shutdown failed", "err", err)
 	}
 	// A replay truncated by a malformed input line served only a prefix of
 	// the capture; exit non-zero so scripted replays cannot mistake it for
 	// a complete run.
 	if err := srcErr(); err != nil {
-		log.Fatalf("tagcorrd: input stream truncated: %v", err)
+		fatal("input stream truncated", "err", err)
 	}
+}
+
+// newLogger builds the daemon's slog logger from the -log-format and
+// -log-level flags. Logs go to stderr; stdout stays reserved for the
+// end-of-run summary lines.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format %q (want text or json)", format)
+	}
+}
+
+// fatal logs at error level and exits non-zero — the slog counterpart of
+// log.Fatalf.
+func fatal(msg string, args ...any) {
+	slog.Error(msg, args...)
+	os.Exit(1)
 }
 
 // buildSource returns the document stream — a JSONL file replayed lazily
@@ -260,7 +318,7 @@ func buildSource(in string, minutes float64, seed int64, dict *tagset.Dictionary
 			if !ok {
 				closeOnce.Do(func() {
 					if err := jsonl.Err(); err != nil {
-						log.Printf("tagcorrd: %s: %v (stream ends here)", in, err)
+						slog.Error("input stream ends early", "file", in, "err", err)
 					}
 					f.Close()
 				})

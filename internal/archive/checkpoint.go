@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/operators"
 	"repro/internal/partition"
@@ -99,7 +100,11 @@ func (w *Writer) WriteCheckpoint(cp *Checkpoint) error {
 		_, err = f.Write(payload.Bytes())
 	}
 	if err == nil {
+		start := time.Now()
 		err = f.Sync()
+		if w.fsyncHist != nil {
+			w.fsyncHist.Record(time.Since(start))
+		}
 	}
 	if cerr := f.Close(); err == nil {
 		err = cerr

@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // The compacted tier. Raw per-period segments accumulate forever on a
@@ -213,6 +215,7 @@ type CompactorStats struct {
 	CompactedPeriods int64 // raw segments folded into compacted files
 	AgedOutFiles     int64 // compacted files deleted under budget pressure
 	AgedOutPeriods   int64 // periods those files contained
+	AgedOutBytes     int64 // bytes those files held when deleted
 	DirBytes         int64 // directory size after the last run
 }
 
@@ -233,7 +236,15 @@ type Compactor struct {
 	mu    sync.Mutex
 	stats CompactorStats
 	err   error // last RunOnce error
+
+	// durHist, when set (SetDurationHist, before Start), records the
+	// wall-clock duration of every maintenance pass.
+	durHist *telemetry.Histogram
 }
+
+// SetDurationHist wires a histogram recording each maintenance pass's
+// duration. Call before Start.
+func (c *Compactor) SetDurationHist(h *telemetry.Histogram) { c.durHist = h }
 
 // NewCompactor returns a Compactor over dir; Start launches the loop.
 func NewCompactor(dir string, cfg CompactorConfig) *Compactor {
@@ -296,6 +307,10 @@ func (c *Compactor) run() {
 func (c *Compactor) RunOnce() error {
 	c.runMu.Lock()
 	defer c.runMu.Unlock()
+	if c.durHist != nil {
+		start := time.Now()
+		defer func() { c.durHist.Record(time.Since(start)) }()
+	}
 
 	m, err := readManifestDir(c.dir)
 	if err != nil {
@@ -454,10 +469,15 @@ func (c *Compactor) enforceBudget(m *manifest, leftover []int64) error {
 		if err := writeManifestDir(c.dir, m); err != nil {
 			return err
 		}
+		var freed int64
+		if fi, err := os.Stat(filepath.Join(c.dir, e.file)); err == nil {
+			freed = fi.Size()
+		}
 		os.Remove(filepath.Join(c.dir, e.file))
 		c.mu.Lock()
 		c.stats.AgedOutFiles++
 		c.stats.AgedOutPeriods += int64(len(e.periods))
+		c.stats.AgedOutBytes += freed
 		c.mu.Unlock()
 		if size, err = dirSize(c.dir); err != nil {
 			return err

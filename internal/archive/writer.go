@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/jaccard"
+	"repro/internal/telemetry"
 	"repro/internal/trend"
 )
 
@@ -29,6 +30,18 @@ type Writer struct {
 	seq    uint64  // last checkpoint sequence number used or found
 	buf    []byte  // scratch for record framing
 	closed bool
+
+	// fsyncHist, when set (SetFsyncHist, before the first checkpoint),
+	// records the durable-sync latency of every checkpoint file.
+	fsyncHist *telemetry.Histogram
+}
+
+// SetFsyncHist wires a histogram recording each checkpoint file's fsync
+// latency. Call before the first WriteCheckpoint.
+func (w *Writer) SetFsyncHist(h *telemetry.Histogram) {
+	w.mu.Lock()
+	w.fsyncHist = h
+	w.mu.Unlock()
 }
 
 type segFile struct {

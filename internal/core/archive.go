@@ -176,6 +176,15 @@ func (p *Pipeline) buildCheckpoint() *archive.Checkpoint {
 	return cp
 }
 
+// buildCheckpointTimed wraps buildCheckpoint with the build-latency
+// histogram (the state export + deep copy, not the encode or fsync).
+func (p *Pipeline) buildCheckpointTimed() *archive.Checkpoint {
+	start := time.Now()
+	cp := p.buildCheckpoint()
+	p.ckptBuildHist.Record(time.Since(start))
+	return cp
+}
+
 // enqueueCheckpoint hands a snapshot to the writer goroutine and returns
 // its enqueue sequence. The queue is one slot, newest-wins: replacing an
 // unwritten older snapshot is safe because each snapshot is a complete
@@ -220,9 +229,11 @@ func (p *Pipeline) ckptLoop() {
 			// Periodic checkpoint: build here, off the hot path. No seq is
 			// involved — synchronous waiters are only ever satisfied by the
 			// write of an enqueued snapshot (or a newer one).
-			cp = p.buildCheckpoint()
+			cp = p.buildCheckpointTimed()
 		}
+		wstart := time.Now()
 		err := p.arch.WriteCheckpoint(cp)
+		p.ckptWriteHist.Record(time.Since(wstart))
 		p.ckptWriteNS.Add(time.Since(start).Nanoseconds())
 		p.ckptCount.Add(1)
 		if err != nil {
@@ -269,7 +280,7 @@ func (p *Pipeline) Checkpoint() error {
 	if p.arch == nil {
 		return fmt.Errorf("core: archive not configured (Config.ArchiveDir)")
 	}
-	cp := p.buildCheckpoint()
+	cp := p.buildCheckpointTimed()
 	p.ckptMu.Lock()
 	if p.ckptClosed {
 		p.ckptMu.Unlock()
@@ -278,6 +289,7 @@ func (p *Pipeline) Checkpoint() error {
 		// returns the writer-closed error, as it always has.
 		start := time.Now()
 		err := p.arch.WriteCheckpoint(cp)
+		p.ckptWriteHist.Record(time.Since(start))
 		p.ckptWriteNS.Add(time.Since(start).Nanoseconds())
 		p.ckptCount.Add(1)
 		return err

@@ -23,6 +23,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/storm"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 	"repro/internal/trend"
 )
 
@@ -130,6 +131,18 @@ type Pipeline struct {
 	ckptCount   atomic.Int64
 	ckptStallNS atomic.Int64
 	ckptWriteNS atomic.Int64
+
+	// stages holds the end-to-end stage-latency histograms every pipeline
+	// maintains (doc→partition, doc→coefficient, doc→tracker-accept);
+	// always non-nil after NewPipeline, shared with cfg.Stages when the
+	// caller provided one. The checkpoint and compaction histograms meter
+	// the durability path; they exist even with archiving off (then they
+	// simply stay empty) so RegisterMetrics can wire them unconditionally.
+	stages        *operators.Stages
+	ckptBuildHist *telemetry.Histogram
+	ckptWriteHist *telemetry.Histogram
+	ckptFsyncHist *telemetry.Histogram
+	compactHist   *telemetry.Histogram
 }
 
 // NewPipeline assembles the topology for the given configuration and input.
@@ -143,13 +156,24 @@ func NewPipeline(cfg Config, src DocumentSource) (*Pipeline, error) {
 	if src == nil {
 		return nil, fmt.Errorf("core: nil document source")
 	}
-	p := &Pipeline{cfg: cfg}
+	if cfg.Stages == nil {
+		cfg.Stages = operators.NewStages()
+	}
+	p := &Pipeline{
+		cfg:           cfg,
+		stages:        cfg.Stages,
+		ckptBuildHist: telemetry.NewHistogram(),
+		ckptWriteHist: telemetry.NewHistogram(),
+		ckptFsyncHist: telemetry.NewHistogram(),
+		compactHist:   telemetry.NewHistogram(),
+	}
 
 	if cfg.ArchiveDir != "" {
 		w, err := archive.OpenWriter(cfg.ArchiveDir)
 		if err != nil {
 			return nil, err
 		}
+		w.SetFsyncHist(p.ckptFsyncHist)
 		p.arch = w
 		p.cursor = newSourceCursor(cfg.ReportEvery)
 		src = p.cursor.wrap(src)
@@ -212,6 +236,7 @@ func NewPipeline(cfg Config, src DocumentSource) (*Pipeline, error) {
 		if p.tracker == nil {
 			p.tracker = operators.NewTrackerWith(cfg.TrackerShards, cfg.TrackerTopK, cfg.EvictedPairs)
 			p.tracker.SetRetention(cfg.KeepPeriods)
+			p.tracker.SetStages(cfg.Stages)
 			if cfg.Trend {
 				p.tracker.EnableTrendEmit()
 			}
@@ -260,6 +285,7 @@ func NewPipeline(cfg Config, src DocumentSource) (*Pipeline, error) {
 			BudgetBytes: cfg.ArchiveBudgetBytes,
 			SafeBelow:   p.archiveSafeBelow,
 		})
+		p.compactor.SetDurationHist(p.compactHist)
 		p.compactor.Start()
 	}
 	return p, nil

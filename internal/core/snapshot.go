@@ -9,6 +9,7 @@ import (
 	"repro/internal/operators"
 	"repro/internal/partition"
 	"repro/internal/storm"
+	"repro/internal/telemetry"
 	"repro/internal/trend"
 )
 
@@ -107,6 +108,16 @@ type Snapshot struct {
 	ArchiveAgedOutPeriods   int64
 	ArchiveBytes            int64
 
+	// StageDocPartition / StageDocCoefficient / StageDocTrackerAccept
+	// summarise the end-to-end stage-latency histograms: the time from a
+	// document's ingest stamp at the Source until it reaches a
+	// Partitioner's window, until its triggered coefficient flush leaves a
+	// Calculator, and until the Tracker accepts that flush. Counts stay
+	// zero on runs that inject tuples without ingest stamps.
+	StageDocPartition     StageLatency
+	StageDocCoefficient   StageLatency
+	StageDocTrackerAccept StageLatency
+
 	// Trends is the streaming trend detector's live view (nil unless
 	// Config.Trend is set): the top deviations of the newest scored period
 	// plus the detector's structural counters.
@@ -194,6 +205,10 @@ func (p *Pipeline) Snapshot(k int) *Snapshot {
 
 	s.EmittedByComponent, s.ReceivedByComponent = p.topo.Stats().Totals()
 
+	s.StageDocPartition = stageLatencyFrom(p.stages.DocPartition)
+	s.StageDocCoefficient = stageLatencyFrom(p.stages.DocCoefficient)
+	s.StageDocTrackerAccept = stageLatencyFrom(p.stages.DocTrackerAccept)
+
 	if p.trends != nil {
 		v := &TrendsView{Stats: p.trends.StatsSnapshot()}
 		// Check the latest-period sentinel itself, not Scored: the first
@@ -212,6 +227,26 @@ func (p *Pipeline) Snapshot(k int) *Snapshot {
 		s.Trends = v
 	}
 	return s
+}
+
+// StageLatency summarises one end-to-end stage-latency histogram for the
+// serving layer: sample count, median and tail quantiles, and the maximum,
+// in milliseconds. The full bucket detail is on /metrics; this is the
+// at-a-glance /stats rendering.
+type StageLatency struct {
+	Count int64   `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"`
+}
+
+func stageLatencyFrom(h *telemetry.Histogram) StageLatency {
+	return StageLatency{
+		Count: h.Count(),
+		P50MS: float64(h.Quantile(0.50).Microseconds()) / 1e3,
+		P99MS: float64(h.Quantile(0.99).Microseconds()) / 1e3,
+		MaxMS: float64(time.Duration(h.MaxNS()).Microseconds()) / 1e3,
+	}
 }
 
 // TrendsView is the Snapshot's rendering of the streaming trend detector:

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"repro/internal/operators"
+	"repro/internal/telemetry"
+)
+
+// stormComponents lists the topology's component names for the per-bolt
+// dataflow metrics ("trend" is appended when the detector runs).
+var stormComponents = []string{
+	"source", "parser", "partitioner", "merger", "disseminator", "calculator", "tracker",
+}
+
+// RegisterMetrics wires the pipeline's live counters into a telemetry
+// registry under the tagcorr_<subsystem>_<name>_<unit> naming convention.
+// Call once between NewPipeline and the run; every series reads through
+// the operators' own thread-safe accessors, so scrapes are safe at any
+// moment of a concurrent run and never block ingest. Archive families are
+// registered even with archiving off (they just stay zero), keeping the
+// scrape surface identical across configurations.
+func (p *Pipeline) RegisterMetrics(reg *telemetry.Registry) {
+	p.registerStormMetrics(reg)
+	p.registerDissemMetrics(reg)
+	p.registerTrackerMetrics(reg)
+	p.registerStageMetrics(reg)
+	p.registerArchiveMetrics(reg)
+	if p.trends != nil {
+		p.registerTrendMetrics(reg)
+	}
+}
+
+func (p *Pipeline) registerStormMetrics(reg *telemetry.Registry) {
+	comps := stormComponents
+	if p.trends != nil {
+		comps = append(append([]string(nil), comps...), "trend")
+	}
+	st := p.topo.Stats()
+	for _, c := range comps {
+		c := c
+		reg.CounterFunc("tagcorr_storm_tuples_emitted_total",
+			"Tuples emitted by each topology component.",
+			telemetry.Labels{"component": c}, func() int64 { return st.Emitted(c) })
+		reg.CounterFunc("tagcorr_storm_tuples_received_total",
+			"Tuples received by each topology component.",
+			telemetry.Labels{"component": c}, func() int64 { return st.Received(c) })
+		reg.GaugeFunc("tagcorr_storm_mailbox_depth_high_water",
+			"Deepest mailbox backlog observed by any task of the component (0 under the sequential executor).",
+			telemetry.Labels{"component": c}, func() float64 {
+				var max int64
+				for _, d := range st.MailboxHighWater(p.topo, c) {
+					if d > max {
+						max = d
+					}
+				}
+				return float64(max)
+			})
+	}
+	reg.CounterFunc("tagcorr_storm_mailbox_compactions_total",
+		"Steady-backlog mailbox compactions across all tasks.",
+		nil, st.MailboxCompactions)
+}
+
+// dissemTotals aggregates the scalar notification counters across every
+// Disseminator instance (each routes a fraction of the traffic).
+func (p *Pipeline) dissemTotals() operators.DissemStats {
+	var agg operators.DissemStats
+	for _, d := range p.disseminators {
+		s := d.SnapshotStats()
+		agg.Docs += s.Docs
+		agg.BeforePartition += s.BeforePartition
+		agg.NotifiedDocs += s.NotifiedDocs
+		agg.Notifications += s.Notifications
+		agg.UncoveredDocs += s.UncoveredDocs
+		agg.Repartitions += s.Repartitions
+		agg.CauseComm += s.CauseComm
+		agg.CauseLoad += s.CauseLoad
+		agg.CauseBoth += s.CauseBoth
+		agg.AdditionsAsked += s.AdditionsAsked
+		if len(s.PerCalculator) > len(agg.PerCalculator) {
+			grown := make([]int64, len(s.PerCalculator))
+			copy(grown, agg.PerCalculator)
+			agg.PerCalculator = grown
+		}
+		for i, n := range s.PerCalculator {
+			agg.PerCalculator[i] += n
+		}
+	}
+	return agg
+}
+
+func (p *Pipeline) registerDissemMetrics(reg *telemetry.Registry) {
+	reg.CounterFunc("tagcorr_dissem_docs_total",
+		"Parsed documents seen by the Disseminators.",
+		nil, func() int64 { return p.dissemTotals().Docs })
+	reg.CounterFunc("tagcorr_dissem_notifications_total",
+		"Calculator notifications sent.",
+		nil, func() int64 { return p.dissemTotals().Notifications })
+	reg.CounterFunc("tagcorr_dissem_notified_docs_total",
+		"Documents that produced at least one notification.",
+		nil, func() int64 { return p.dissemTotals().NotifiedDocs })
+	reg.CounterFunc("tagcorr_dissem_uncovered_docs_total",
+		"Documents whose tagset no single Calculator fully held.",
+		nil, func() int64 { return p.dissemTotals().UncoveredDocs })
+	reg.CounterFunc("tagcorr_dissem_single_additions_total",
+		"Single-Addition placements requested from the Merger.",
+		nil, func() int64 { return int64(p.dissemTotals().AdditionsAsked) })
+	for _, cause := range []string{"comm", "load", "both"} {
+		cause := cause
+		reg.CounterFunc("tagcorr_dissem_repartitions_total",
+			"Post-bootstrap repartition requests by trigger cause.",
+			telemetry.Labels{"cause": cause}, func() int64 {
+				s := p.dissemTotals()
+				switch cause {
+				case "comm":
+					return int64(s.CauseComm)
+				case "load":
+					return int64(s.CauseLoad)
+				default:
+					return int64(s.CauseBoth)
+				}
+			})
+	}
+	reg.GaugeFunc("tagcorr_dissem_communication",
+		"Run-average notifications per notified document (paper Section 8.2.1).",
+		nil, func() float64 { s := p.dissemTotals(); return s.Communication() })
+	reg.GaugeFunc("tagcorr_dissem_load_gini",
+		"Gini coefficient of cumulative per-Calculator notifications (paper Section 8.2.2).",
+		nil, func() float64 { s := p.dissemTotals(); return s.LoadGini() })
+}
+
+func (p *Pipeline) registerTrackerMetrics(reg *telemetry.Registry) {
+	reg.CounterFunc("tagcorr_tracker_coefficients_received_total",
+		"Coefficient reports the Tracker received, duplicates included.",
+		nil, func() int64 { return p.tracker.StatsSnapshot().Received })
+	reg.CounterFunc("tagcorr_tracker_coefficients_duplicate_total",
+		"Coefficient reports dropped by CN-max dedup.",
+		nil, func() int64 { return p.tracker.StatsSnapshot().Duplicates })
+	reg.GaugeFunc("tagcorr_tracker_retained_coefficients",
+		"Coefficients currently retained across all shards.",
+		nil, func() float64 { return float64(p.tracker.StatsSnapshot().Retained) })
+	reg.GaugeFunc("tagcorr_tracker_heap_entries",
+		"Entries currently held in the incrementally maintained shard top-k heaps.",
+		nil, func() float64 { return float64(p.tracker.StatsSnapshot().HeapEntries) })
+	reg.CounterFunc("tagcorr_tracker_heap_rebuilds_total",
+		"Shard heap rebuilds (prunes, demotions, bound changes).",
+		nil, func() int64 { return p.tracker.StatsSnapshot().Rebuilds })
+	reg.GaugeFunc("tagcorr_tracker_retained_periods",
+		"Reporting periods currently retained.",
+		nil, func() float64 { return float64(p.tracker.StatsSnapshot().RetainedPeriods) })
+	reg.CounterFunc("tagcorr_tracker_pruned_periods_total",
+		"Reporting periods evicted by retention.",
+		nil, func() int64 { return p.tracker.StatsSnapshot().PrunedPeriods })
+	reg.GaugeFunc("tagcorr_tracker_evicted_lru_entries",
+		"Pairs currently held in the evicted-coefficient LRU.",
+		nil, func() float64 { return float64(p.tracker.StatsSnapshot().EvictedLen) })
+	reg.CounterFunc("tagcorr_tracker_evicted_lru_hits_total",
+		"Pair lookups answered from the evicted-coefficient LRU.",
+		nil, func() int64 { return p.tracker.StatsSnapshot().EvictedHits })
+	reg.CounterFunc("tagcorr_tracker_evicted_lru_misses_total",
+		"Evicted-LRU lookups that found nothing.",
+		nil, func() int64 { return p.tracker.StatsSnapshot().EvictedMisses })
+}
+
+func (p *Pipeline) registerStageMetrics(reg *telemetry.Registry) {
+	reg.Observe("tagcorr_stage_doc_partition_seconds",
+		"Latency from a document's ingest stamp to its arrival in a Partitioner window.",
+		telemetry.Labels{"stage": "doc_partition"}, p.stages.DocPartition)
+	reg.Observe("tagcorr_stage_doc_coefficient_seconds",
+		"Latency from a document's ingest stamp to the coefficient flush it triggered leaving a Calculator.",
+		telemetry.Labels{"stage": "doc_coefficient"}, p.stages.DocCoefficient)
+	reg.Observe("tagcorr_stage_doc_tracker_accept_seconds",
+		"Latency from a document's ingest stamp to the Tracker accepting its triggered flush.",
+		telemetry.Labels{"stage": "doc_tracker_accept"}, p.stages.DocTrackerAccept)
+}
+
+func (p *Pipeline) registerArchiveMetrics(reg *telemetry.Registry) {
+	reg.CounterFunc("tagcorr_archive_checkpoints_total",
+		"Completed checkpoint writes.",
+		nil, p.ckptCount.Load)
+	reg.Observe("tagcorr_archive_checkpoint_build_seconds",
+		"Checkpoint state-export latency (deep copy under the operator locks).",
+		nil, p.ckptBuildHist)
+	reg.Observe("tagcorr_archive_checkpoint_write_seconds",
+		"Checkpoint encode + write + fsync + rename latency on the writer goroutine.",
+		nil, p.ckptWriteHist)
+	reg.Observe("tagcorr_archive_checkpoint_fsync_seconds",
+		"fsync portion of each checkpoint write.",
+		nil, p.ckptFsyncHist)
+	reg.Observe("tagcorr_archive_compaction_seconds",
+		"Duration of each background compactor pass.",
+		nil, p.compactHist)
+	reg.CounterFunc("tagcorr_archive_compactions_total",
+		"Compacted archive files written.",
+		nil, func() int64 { return p.CompactorStats().Compactions })
+	reg.CounterFunc("tagcorr_archive_compacted_periods_total",
+		"Raw period segments folded into compacted files.",
+		nil, func() int64 { return p.CompactorStats().CompactedPeriods })
+	reg.CounterFunc("tagcorr_archive_aged_out_periods_total",
+		"Periods deleted from the compacted tier under the disk budget.",
+		nil, func() int64 { return p.CompactorStats().AgedOutPeriods })
+	reg.CounterFunc("tagcorr_archive_aged_out_bytes_total",
+		"Bytes freed by deleting aged-out compacted periods.",
+		nil, func() int64 { return p.CompactorStats().AgedOutBytes })
+	reg.GaugeFunc("tagcorr_archive_dir_bytes",
+		"Archive directory size after the compactor's last pass.",
+		nil, func() float64 { return float64(p.CompactorStats().DirBytes) })
+}
+
+func (p *Pipeline) registerTrendMetrics(reg *telemetry.Registry) {
+	reg.CounterFunc("tagcorr_trend_deviations_scored_total",
+		"Deviation events scored by the streaming trend detector.",
+		nil, func() int64 { return p.trends.StatsSnapshot().Scored })
+	reg.CounterFunc("tagcorr_trend_filtered_total",
+		"Trend observations below the minimum-support floor.",
+		nil, func() int64 { return p.trends.StatsSnapshot().Filtered })
+	reg.CounterFunc("tagcorr_trend_published_total",
+		"Trend events delivered to at least one subscriber.",
+		nil, func() int64 { return p.trends.StatsSnapshot().Published })
+	reg.CounterFunc("tagcorr_trend_subscriber_drops_total",
+		"Per-subscriber trend deliveries lost to full buffers.",
+		nil, func() int64 { return p.trends.StatsSnapshot().Dropped })
+	reg.GaugeFunc("tagcorr_trend_subscribers",
+		"Live trend event subscribers.",
+		nil, func() float64 { return float64(p.trends.StatsSnapshot().Subscribers) })
+	reg.GaugeFunc("tagcorr_trend_tracked_predictors",
+		"Live EWMA predictors across all trend shards.",
+		nil, func() float64 { return float64(p.trends.StatsSnapshot().Tracked) })
+}

@@ -61,6 +61,11 @@ type Options struct {
 	// run with durability on. Empty uses a temp dir, removed afterwards.
 	ArchiveDir string
 
+	// MetricsOut, when set, writes the raw end-of-run /metrics scrape to
+	// this file (the cmd/loadgen -metrics-out flag) for offline diffing
+	// next to the BENCH report.
+	MetricsOut string
+
 	// MaxDocsPerSec caps the local ingest rate (0 = closed-loop, as fast
 	// as the pipeline accepts). An unpaced replay on a fast machine can
 	// drain the whole stream before the asynchronously computed first
@@ -275,6 +280,9 @@ func runLocal(s Suite, opt Options, workers int) (*Report, error) {
 		Knobs:             knobsOf(cfg, s.Archive),
 		Env:               envInfo(),
 	}
+	if err := attachMetrics(cl, rep, mode == string(ModeHTTP), opt.MetricsOut); err != nil {
+		return nil, err
+	}
 	return rep, nil
 }
 
@@ -318,6 +326,9 @@ func runExternal(s Suite, opt Options, workers int) (*Report, error) {
 		CheckpointStallMS: last.CheckpointStallMS,
 		RSSBytes:          last.RSSBytes,
 		Env:               envInfo(),
+	}
+	if err := attachMetrics(cl, rep, true, opt.MetricsOut); err != nil {
+		return nil, err
 	}
 	if delta <= 0 {
 		return rep, fmt.Errorf("load: target %s ingested no documents in %s (is the stream flowing?)",

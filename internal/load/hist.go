@@ -1,113 +1,48 @@
 package load
 
 import (
-	"sort"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
-// Hist is a concurrent log-bucketed latency histogram: geometric buckets
-// (ratio 1.2) from 1µs to ~60s give bounded memory and lock-free recording
-// at ≤20% quantile resolution — plenty for p50/p95/p99 on HTTP-scale
-// latencies. Recording races only on atomics, so every query worker shares
+// Hist wraps the pipeline-wide telemetry.Histogram (the concurrent
+// log-bucketed latency histogram this package originally owned, promoted
+// to internal/telemetry in the observability PR) with the benchmark-side
+// extras: an error counter and the EndpointStats summary for BENCH
+// reports. Recording races only on atomics, so every query worker shares
 // one Hist per endpoint.
 type Hist struct {
-	counts []atomic.Int64
-	count  atomic.Int64
-	errs   atomic.Int64
-	sumNS  atomic.Int64
-	maxNS  atomic.Int64
+	*telemetry.Histogram
+	errs atomic.Int64
 }
-
-// histBounds holds the bucket upper bounds in nanoseconds, ascending.
-var histBounds = func() []int64 {
-	const (
-		start = int64(time.Microsecond)
-		ratio = 1.2
-		limit = int64(60 * time.Second)
-	)
-	var b []int64
-	f := float64(start)
-	for int64(f) < limit {
-		b = append(b, int64(f))
-		f *= ratio
-	}
-	return append(b, limit)
-}()
 
 // NewHist returns an empty histogram.
 func NewHist() *Hist {
-	return &Hist{counts: make([]atomic.Int64, len(histBounds))}
-}
-
-// Record adds one latency sample.
-func (h *Hist) Record(d time.Duration) {
-	ns := int64(d)
-	if ns < 0 {
-		ns = 0
-	}
-	i := sort.Search(len(histBounds), func(i int) bool { return histBounds[i] >= ns })
-	if i == len(histBounds) {
-		i--
-	}
-	h.counts[i].Add(1)
-	h.count.Add(1)
-	h.sumNS.Add(ns)
-	for {
-		cur := h.maxNS.Load()
-		if ns <= cur || h.maxNS.CompareAndSwap(cur, ns) {
-			return
-		}
-	}
+	return &Hist{Histogram: telemetry.NewHistogram()}
 }
 
 // RecordError counts a failed request (transport error or 5xx); failed
 // requests do not contribute latency samples.
 func (h *Hist) RecordError() { h.errs.Add(1) }
 
-// Count returns the number of latency samples recorded.
-func (h *Hist) Count() int64 { return h.count.Load() }
-
 // Errors returns the number of failed requests.
 func (h *Hist) Errors() int64 { return h.errs.Load() }
 
-// Quantile returns the latency at quantile q in [0,1] (bucket upper
-// bound), or 0 with no samples.
-func (h *Hist) Quantile(q float64) time.Duration {
-	total := h.count.Load()
-	if total == 0 {
-		return 0
-	}
-	rank := int64(q*float64(total) + 0.5)
-	if rank < 1 {
-		rank = 1
-	}
-	if rank > total {
-		rank = total
-	}
-	var seen int64
-	for i := range h.counts {
-		seen += h.counts[i].Load()
-		if seen >= rank {
-			return time.Duration(histBounds[i])
-		}
-	}
-	return time.Duration(histBounds[len(histBounds)-1])
-}
-
 // Stats summarises the histogram for the BENCH report.
 func (h *Hist) Stats() EndpointStats {
-	n := h.count.Load()
+	n := h.Count()
 	st := EndpointStats{
 		Count:  n,
 		Errors: h.errs.Load(),
 		P50MS:  float64(h.Quantile(0.50)) / float64(time.Millisecond),
 		P95MS:  float64(h.Quantile(0.95)) / float64(time.Millisecond),
 		P99MS:  float64(h.Quantile(0.99)) / float64(time.Millisecond),
-		MaxMS:  float64(h.maxNS.Load()) / float64(time.Millisecond),
+		MaxMS:  float64(h.MaxNS()) / float64(time.Millisecond),
 	}
 	if n > 0 {
-		st.MeanMS = float64(h.sumNS.Load()) / float64(n) / float64(time.Millisecond)
+		st.MeanMS = float64(h.SumNS()) / float64(n) / float64(time.Millisecond)
 	}
 	return st
 }

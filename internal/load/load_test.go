@@ -1,10 +1,13 @@
 package load
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // TestStreamDeterminism is the acceptance check for suite generators: the
@@ -68,6 +71,16 @@ func TestSuitesBothDrivers(t *testing.T) {
 				if rep.Queries["topk"].Count == 0 {
 					t.Fatalf("suite %s over %s: no /topk queries recorded", s.Name, mode)
 				}
+				// Server-side route latency is a wire-mode quantity: the
+				// /metrics scrape fills it over TCP and leaves it out when
+				// the handler was invoked directly.
+				if mode == ModeHTTP {
+					if _, ok := rep.Routes["/topk"]; !ok {
+						t.Fatalf("suite %s over http: report carries no /topk route stats", s.Name)
+					}
+				} else if rep.Routes != nil {
+					t.Fatalf("suite %s inproc: unexpected route stats %v", s.Name, rep.Routes)
+				}
 			})
 		}
 	}
@@ -89,12 +102,16 @@ func TestSmokeSuiteReport(t *testing.T) {
 	// ever reaches the Tracker and the report legitimately carries zero
 	// periods. The ceiling keeps the replay slow enough that partitioning
 	// engages deterministically, making periods >= 1 assertable.
-	rep, err := Run(s, Options{Seed: 1, Docs: 5000, MaxDocsPerSec: 2000})
+	metricsOut := filepath.Join(t.TempDir(), "METRICS_smoke.prom")
+	rep, err := Run(s, Options{Seed: 1, Docs: 5000, MaxDocsPerSec: 2000, MetricsOut: metricsOut})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := rep.Validate(); err != nil {
 		t.Fatalf("invalid report: %v", err)
+	}
+	if rep.Schema != Schema {
+		t.Fatalf("report schema = %q, want %q", rep.Schema, Schema)
 	}
 	if rep.IngestDocsPerSec <= 0 {
 		t.Fatalf("ingest_docs_per_sec = %g", rep.IngestDocsPerSec)
@@ -116,6 +133,32 @@ func TestSmokeSuiteReport(t *testing.T) {
 	if rep.Queries["topk"].Count == 0 || rep.Queries["trends"].Count == 0 {
 		t.Fatalf("no queries recorded: topk=%d trends=%d",
 			rep.Queries["topk"].Count, rep.Queries["trends"].Count)
+	}
+
+	// The v2 stage-latency section is read back from /metrics: the paced
+	// run crossed period boundaries (periods >= 1 above), so documents
+	// flowed through every stage.
+	for _, stage := range []string{"doc_partition", "doc_coefficient", "doc_tracker_accept"} {
+		st, ok := rep.StageLatency[stage]
+		if !ok || st.Count == 0 {
+			t.Fatalf("stage_latency[%s] = %+v, want count > 0 (have %v)", stage, st, rep.StageLatency)
+		}
+		if st.P50MS <= 0 || st.P99MS < st.P50MS {
+			t.Fatalf("stage_latency[%s]: implausible quantiles %+v", stage, st)
+		}
+	}
+
+	// MetricsOut dumped the raw scrape, and it parses.
+	dump, err := os.ReadFile(metricsOut)
+	if err != nil {
+		t.Fatalf("-metrics-out dump: %v", err)
+	}
+	fams, err := telemetry.ParseText(bytes.NewReader(dump))
+	if err != nil {
+		t.Fatalf("-metrics-out dump unparseable: %v", err)
+	}
+	if len(fams) < 25 {
+		t.Fatalf("-metrics-out dump has %d families, want >= 25", len(fams))
 	}
 
 	// Round-trip through the file format the CI gate consumes.
@@ -168,9 +211,19 @@ func TestReportValidate(t *testing.T) {
 		t.Fatalf("valid report rejected: %v", err)
 	}
 	r := valid()
+	r.Schema = SchemaV1
+	if err := r.Validate(); err != nil {
+		t.Fatalf("v1 report (committed baselines) rejected: %v", err)
+	}
+	r = valid()
 	r.Schema = "tagcorr-bench/0"
 	if err := r.Validate(); err == nil {
 		t.Fatal("unknown schema accepted")
+	}
+	r = valid()
+	r.StageLatency = map[string]StageStats{"doc_partition": {Count: 5, P50MS: 2, P99MS: 1}}
+	if err := r.Validate(); err == nil {
+		t.Fatal("inverted stage quantiles accepted")
 	}
 	r = valid()
 	r.IngestDocsPerSec = 0

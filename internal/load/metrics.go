@@ -1,0 +1,130 @@
+package load
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"os"
+
+	"repro/internal/telemetry"
+)
+
+// stageNames lists the end-to-end stage histograms the v2 report reads
+// back from /metrics, in pipeline order.
+var stageNames = []string{"doc_partition", "doc_coefficient", "doc_tracker_accept"}
+
+// scrapeMetrics fetches and parses the service's /metrics exposition.
+// A 404 (a pre-telemetry tagcorrd behind -target) returns nil families
+// without error — the v2 sections are optional; anything else that is
+// not a clean parseable 200 is an error, since a served-but-broken
+// exposition is exactly what the harness should catch.
+func scrapeMetrics(cl client) (raw []byte, fams map[string]*telemetry.Family, err error) {
+	status, body, err := cl.get("/metrics")
+	if err != nil {
+		return nil, nil, fmt.Errorf("load: GET /metrics: %w", err)
+	}
+	if status == http.StatusNotFound {
+		return nil, nil, nil
+	}
+	if status != http.StatusOK {
+		return nil, nil, fmt.Errorf("load: GET /metrics: status %d", status)
+	}
+	fams, err = telemetry.ParseText(bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, fmt.Errorf("load: /metrics exposition: %w", err)
+	}
+	return body, fams, nil
+}
+
+// stageLatency extracts the ingest-to-stage percentiles from a parsed
+// scrape. Stages with no samples (or absent families) are omitted.
+func stageLatency(fams map[string]*telemetry.Family) map[string]StageStats {
+	out := map[string]StageStats{}
+	for _, stage := range stageNames {
+		f, ok := fams["tagcorr_stage_"+stage+"_seconds"]
+		if !ok {
+			continue
+		}
+		d, ok := f.Histogram(map[string]string{"stage": stage})
+		if !ok || d.Count == 0 {
+			continue
+		}
+		out[stage] = StageStats{
+			Count: int64(d.Count),
+			P50MS: d.Quantile(0.50) * 1e3,
+			P95MS: d.Quantile(0.95) * 1e3,
+			P99MS: d.Quantile(0.99) * 1e3,
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// routeLatency extracts the server-side per-route latency summaries from
+// the tagcorr_http_request_seconds family. Routes that served nothing
+// are omitted; quantiles and max come from the cumulative buckets, so
+// they are upper bounds (ratio-1.2 log buckets).
+func routeLatency(fams map[string]*telemetry.Family) map[string]EndpointStats {
+	f, ok := fams["tagcorr_http_request_seconds"]
+	if !ok {
+		return nil
+	}
+	routes := map[string]bool{}
+	for _, s := range f.Samples {
+		if r := s.Labels["route"]; r != "" {
+			routes[r] = true
+		}
+	}
+	out := map[string]EndpointStats{}
+	for r := range routes {
+		d, ok := f.Histogram(map[string]string{"route": r})
+		if !ok || d.Count == 0 {
+			continue
+		}
+		st := EndpointStats{
+			Count: int64(d.Count),
+			P50MS: d.Quantile(0.50) * 1e3,
+			P95MS: d.Quantile(0.95) * 1e3,
+			P99MS: d.Quantile(0.99) * 1e3,
+			MaxMS: d.Quantile(1) * 1e3,
+		}
+		st.MeanMS = d.Sum / d.Count * 1e3
+		out[r] = st
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// attachMetrics performs the end-of-run /metrics scrape and fills the
+// report's v2 sections: stage latency always (it measures the pipeline,
+// not the transport), per-route server-side latency only when the run
+// went over a real wire (ModeHTTP or an external target) — that is when
+// the client-side Queries numbers include transport cost worth
+// separating. With metricsOut set, the raw exposition is written there
+// for offline diffing.
+func attachMetrics(cl client, rep *Report, overWire bool, metricsOut string) error {
+	raw, fams, err := scrapeMetrics(cl)
+	if err != nil {
+		return err
+	}
+	if fams == nil {
+		if metricsOut != "" {
+			return fmt.Errorf("load: -metrics-out: target serves no /metrics endpoint")
+		}
+		return nil
+	}
+	rep.StageLatency = stageLatency(fams)
+	if overWire {
+		rep.Routes = routeLatency(fams)
+	}
+	if metricsOut != "" {
+		if err := os.WriteFile(metricsOut, raw, 0o644); err != nil {
+			return fmt.Errorf("load: %w", err)
+		}
+	}
+	return nil
+}

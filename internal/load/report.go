@@ -12,8 +12,14 @@ import (
 // Schema identifies the BENCH report format. Bump on any
 // backwards-incompatible field change; readers (the CI gate, trajectory
 // tooling) refuse reports with an unknown schema rather than
-// misinterpreting them.
-const Schema = "tagcorr-bench/1"
+// misinterpreting them. v2 adds the stage_latency and routes sections
+// read back from the service's /metrics exposition; SchemaV1 reports
+// (committed baselines) stay readable — the added sections are simply
+// absent.
+const (
+	Schema   = "tagcorr-bench/2"
+	SchemaV1 = "tagcorr-bench/1"
+)
 
 // EndpointStats is the latency summary of one query endpoint under load.
 type EndpointStats struct {
@@ -24,6 +30,17 @@ type EndpointStats struct {
 	P99MS  float64 `json:"p99_ms"`
 	MaxMS  float64 `json:"max_ms"`
 	MeanMS float64 `json:"mean_ms"`
+}
+
+// StageStats summarises one end-to-end stage-latency histogram read back
+// from the service's /metrics exposition (schema v2). Quantiles are
+// bucket upper bounds — the histogram is log-bucketed at ratio 1.2, so
+// they overstate the true quantile by at most 20%.
+type StageStats struct {
+	Count int64   `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
 }
 
 // Env records where a report was measured — throughput numbers are only
@@ -70,6 +87,21 @@ type Report struct {
 	// latency summary under load.
 	Queries map[string]EndpointStats `json:"queries"`
 
+	// StageLatency maps pipeline stage (doc_partition, doc_coefficient,
+	// doc_tracker_accept) to the ingest-to-stage latency percentiles read
+	// back from the /metrics stage histograms at the end of the run.
+	// Schema v2; absent in v1 reports and when the target serves no
+	// /metrics endpoint.
+	StageLatency map[string]StageStats `json:"stage_latency,omitempty"`
+
+	// Routes maps route pattern to the server-side request-latency summary
+	// from tagcorr_http_request_seconds, scraped in ModeHTTP and external
+	// runs (schema v2). Queries above measures the client side including
+	// transport; Routes isolates handler time as the server metered it.
+	// Quantiles and max are histogram bucket upper bounds, and Errors is
+	// always 0 (the exposition has no error counter per route).
+	Routes map[string]EndpointStats `json:"routes,omitempty"`
+
 	// SnapshotAgeMSMax / SnapshotAgeMSLast track snapshot staleness: the
 	// worst and final snapshot_age_ms sampled from /stats during the run.
 	SnapshotAgeMSMax  int64 `json:"snapshot_age_ms_max"`
@@ -92,8 +124,8 @@ type Report struct {
 // trajectory and the CI gate consume are present and sane.
 func (r *Report) Validate() error {
 	switch {
-	case r.Schema != Schema:
-		return fmt.Errorf("load: report schema %q (want %q)", r.Schema, Schema)
+	case r.Schema != Schema && r.Schema != SchemaV1:
+		return fmt.Errorf("load: report schema %q (want %q or %q)", r.Schema, Schema, SchemaV1)
 	case r.Suite == "":
 		return fmt.Errorf("load: report missing suite name")
 	case r.Mode == "":
@@ -114,6 +146,12 @@ func (r *Report) Validate() error {
 		if q.Count > 0 && (q.P50MS <= 0 || q.P99MS < q.P50MS) {
 			return fmt.Errorf("load: endpoint %s: implausible quantiles p50=%g p99=%g",
 				name, q.P50MS, q.P99MS)
+		}
+	}
+	for stage, s := range r.StageLatency {
+		if s.Count > 0 && (s.P50MS <= 0 || s.P99MS < s.P50MS) {
+			return fmt.Errorf("load: stage %s: implausible quantiles p50=%g p99=%g",
+				stage, s.P50MS, s.P99MS)
 		}
 	}
 	return nil

@@ -4,6 +4,7 @@ import (
 	"repro/internal/jaccard"
 	"repro/internal/storm"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
 
 // Calculator counts the subsets of the notifications it receives and, at
@@ -74,17 +75,20 @@ func (c *Calculator) observe(msg NotifyMsg, out storm.Collector) {
 		// period containing msg.Time: a sparse live stream or a replay with
 		// a large timestamp gap must not pay one no-op flush per empty
 		// period in between.
-		c.flush(out)
+		c.flush(out, msg.Ingest)
 		c.boundary = alignUp(msg.Time, c.cfg.ReportEvery)
 	}
 	c.table.Observe(msg.Tags)
 	c.Observed++
+	if st := c.cfg.Stages; st != nil && msg.Ingest > 0 {
+		st.DocCoefficient.Record(telemetry.Since(msg.Ingest))
+	}
 }
 
 // Cleanup flushes the final partial period.
 func (c *Calculator) Cleanup(out storm.Collector) {
 	if c.hasData && c.table.Docs() > 0 {
-		c.flush(out)
+		c.flush(out, 0)
 	}
 }
 
@@ -95,14 +99,14 @@ func (c *Calculator) Cleanup(out storm.Collector) {
 // tagset-key hash routes to it (CoeffKey reads the Route field). Either
 // way the hot path's dataflow counters and mailbox pressure stay
 // proportional to periods rather than pairs.
-func (c *Calculator) flush(out storm.Collector) {
+func (c *Calculator) flush(out storm.Collector, ingest int64) {
 	coeffs := c.table.Coefficients(1)
 	period := int64(c.boundary / c.cfg.ReportEvery)
 	switch {
 	case len(coeffs) == 0:
 	case c.trackerTasks <= 1:
 		out.Emit(storm.Tuple{Stream: StreamCoeff, Values: []interface{}{
-			CoeffBatch{Period: period, Coeffs: coeffs},
+			CoeffBatch{Period: period, Coeffs: coeffs, Ingest: ingest},
 		}})
 	default:
 		parts := make([][]jaccard.Coefficient, c.trackerTasks)
@@ -115,7 +119,7 @@ func (c *Calculator) flush(out storm.Collector) {
 				continue
 			}
 			out.Emit(storm.Tuple{Stream: StreamCoeff, Values: []interface{}{
-				CoeffBatch{Period: period, Route: uint64(g), Coeffs: part},
+				CoeffBatch{Period: period, Route: uint64(g), Coeffs: part, Ingest: ingest},
 			}})
 		}
 	}

@@ -338,10 +338,10 @@ func (d *Disseminator) onDoc(msg DocMsg, out storm.Collector) {
 			covered = true
 		}
 		if d.notifyBuf != nil {
-			d.notifyBuf[c] = append(d.notifyBuf[c], NotifyMsg{Time: msg.Time, Tags: sub})
+			d.notifyBuf[c] = append(d.notifyBuf[c], NotifyMsg{Time: msg.Time, Tags: sub, Ingest: msg.Ingest})
 		} else {
 			out.EmitDirect(d.calcTasks[c], storm.Tuple{Stream: StreamNotify, Values: []interface{}{
-				NotifyMsg{Time: msg.Time, Tags: sub},
+				NotifyMsg{Time: msg.Time, Tags: sub, Ingest: msg.Ingest},
 			}})
 		}
 		d.Stats.Notifications++

@@ -20,6 +20,7 @@ import (
 	"repro/internal/storm"
 	"repro/internal/stream"
 	"repro/internal/tagset"
+	"repro/internal/telemetry"
 	"repro/internal/trend"
 )
 
@@ -37,9 +38,14 @@ const (
 )
 
 // DocMsg is a parsed document: arrival time plus its canonical tagset.
+// Ingest is the monotonic process-local ingest stamp (telemetry.Now at the
+// Source), carried through the pipeline so downstream operators can record
+// doc→stage latencies; it is 0 for messages injected without a Source
+// (unit tests driving bolts directly).
 type DocMsg struct {
-	Time stream.Millis
-	Tags tagset.Set
+	Time   stream.Millis
+	Tags   tagset.Set
+	Ingest int64
 }
 
 // PartialMsg is one Partitioner's contribution to a repartition epoch: the
@@ -77,10 +83,12 @@ type RepartitionReq struct {
 }
 
 // NotifyMsg is a notification to one Calculator: the subset of a document's
-// tags that the Calculator is assigned.
+// tags that the Calculator is assigned. Ingest propagates the document's
+// ingest stamp (see DocMsg).
 type NotifyMsg struct {
-	Time stream.Millis
-	Tags tagset.Set
+	Time   stream.Millis
+	Tags   tagset.Set
+	Ingest int64
 }
 
 // NotifyBatch carries several notifications to one Calculator in a single
@@ -113,6 +121,10 @@ type CoeffBatch struct {
 	Period int64
 	Route  uint64
 	Coeffs []jaccard.Coefficient
+	// Ingest is the ingest stamp of the document whose arrival triggered
+	// this flush (0 for Cleanup flushes), closing the doc→tracker-accept
+	// latency trace when the Tracker ingests the batch.
+	Ingest int64
 }
 
 // TrendMsg is one deduplicated coefficient acceptance, emitted by the
@@ -253,6 +265,12 @@ type Config struct {
 	// thus safe to compact.
 	ArchiveBudgetBytes int64
 
+	// Stages carries the pipeline's end-to-end stage-latency histograms.
+	// When set, the Source stamps every document with a monotonic ingest
+	// time and the Partitioner, Calculator and Tracker record their
+	// doc→stage latencies into it. nil — the default — traces nothing.
+	Stages *Stages
+
 	// CalibrateRefs replaces the Merger's partition-level reference
 	// quality with the first statistics batch measured on live traffic
 	// after each install. The paper's design (and the default) uses the
@@ -377,6 +395,27 @@ func (c Config) TrendStreamConfig() trend.StreamConfig {
 	return sc
 }
 
+// Stages bundles the end-to-end stage-latency histograms: time from
+// document ingest at the Source until (a) the Partitioner absorbs it into
+// its window, (b) a Calculator scores one of its notifications, and (c)
+// the Tracker accepts the coefficient batch whose flush it triggered.
+// The histograms are shared lock-free telemetry histograms, so one Stages
+// value serves every task of every operator.
+type Stages struct {
+	DocPartition     *telemetry.Histogram
+	DocCoefficient   *telemetry.Histogram
+	DocTrackerAccept *telemetry.Histogram
+}
+
+// NewStages returns a Stages with fresh histograms.
+func NewStages() *Stages {
+	return &Stages{
+		DocPartition:     telemetry.NewHistogram(),
+		DocCoefficient:   telemetry.NewHistogram(),
+		DocTrackerAccept: telemetry.NewHistogram(),
+	}
+}
+
 // TagsetKey hashes a document's full tagset for fields grouping, so equal
 // tagsets always reach the same Partitioner instance (Section 6.2).
 func TagsetKey(t storm.Tuple) uint64 {
@@ -447,7 +486,7 @@ func (s *Source) NextTuple(out storm.Collector) bool {
 	if !ok {
 		return false
 	}
-	out.Emit(storm.Tuple{Stream: StreamDoc, Values: []interface{}{DocMsg{Time: d.Time, Tags: d.Tags}}})
+	out.Emit(storm.Tuple{Stream: StreamDoc, Values: []interface{}{DocMsg{Time: d.Time, Tags: d.Tags, Ingest: telemetry.Now()}}})
 	return true
 }
 

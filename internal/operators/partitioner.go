@@ -8,6 +8,7 @@ import (
 	"repro/internal/storm"
 	"repro/internal/stream"
 	"repro/internal/tagset"
+	"repro/internal/telemetry"
 )
 
 // Partitioner maintains a sliding window over the tagsets routed to it
@@ -62,6 +63,9 @@ func (p *Partitioner) Execute(t storm.Tuple, out storm.Collector) {
 	case StreamDoc:
 		msg := t.Values[0].(DocMsg)
 		p.window.Add(stream.Document{Time: msg.Time, Tags: msg.Tags})
+		if st := p.cfg.Stages; st != nil && msg.Ingest > 0 {
+			st.DocPartition.Record(telemetry.Since(msg.Ingest))
+		}
 	case StreamRepartition:
 		req := t.Values[0].(RepartitionReq)
 		p.emitPartial(req.Epoch, out)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/jaccard"
 	"repro/internal/storm"
 	"repro/internal/tagset"
+	"repro/internal/telemetry"
 	"repro/internal/topselect"
 )
 
@@ -64,6 +65,11 @@ type Tracker struct {
 	// Both are set during assembly, read-only once the run starts.
 	archive    TrackerArchive
 	periodHook func(period int64)
+
+	// stages records the doc→tracker-accept latency of each ingested
+	// coefficient batch (SetStages); set during assembly, read-only once
+	// the run starts.
+	stages *Stages
 
 	// Received counts all incoming coefficients; Duplicates counts those
 	// that collided with an existing report for the same tagset and period;
@@ -187,6 +193,11 @@ func (tr *Tracker) Prepare(*storm.TaskContext) {}
 // of the Trend operator. Call before the run starts.
 func (tr *Tracker) EnableTrendEmit() { tr.emitTrend = true }
 
+// SetStages wires the stage-latency histograms: each CoeffBatch carrying
+// an ingest stamp records its doc→tracker-accept latency once ingested.
+// Call before the run starts.
+func (tr *Tracker) SetStages(st *Stages) { tr.stages = st }
+
 // Execute implements storm.Bolt: the report path. Calculators ship one
 // CoeffBatch per period flush; the single-coefficient CoeffMsg form is
 // accepted too. Each coefficient consults the period registry (opening a
@@ -197,6 +208,9 @@ func (tr *Tracker) Execute(t storm.Tuple, out storm.Collector) {
 	case CoeffBatch:
 		for _, c := range msg.Coeffs {
 			tr.reportOne(msg.Period, c, out)
+		}
+		if tr.stages != nil && msg.Ingest > 0 {
+			tr.stages.DocTrackerAccept.Record(telemetry.Since(msg.Ingest))
 		}
 	case CoeffMsg:
 		tr.reportOne(msg.Period, msg.Coeff, out)
@@ -433,9 +447,10 @@ type TrackerStats struct {
 	Rebuilds        int64 // heap rebuilds (prunes, demotions, bound changes)
 	PrunedPeriods   int64 // periods evicted by retention so far
 
-	EvictedLen  int   // pairs currently in the evicted LRU
-	EvictedCap  int   // LRU capacity (0: disabled)
-	EvictedHits int64 // lookups answered from the LRU
+	EvictedLen    int   // pairs currently in the evicted LRU
+	EvictedCap    int   // LRU capacity (0: disabled)
+	EvictedHits   int64 // lookups answered from the LRU
+	EvictedMisses int64 // LRU lookups that found nothing
 
 	Received   int64
 	Duplicates int64
@@ -463,7 +478,7 @@ func (tr *Tracker) StatsSnapshot() TrackerStats {
 	st.PrunedPeriods = tr.reg.pruned
 	tr.reg.mu.RUnlock()
 	if tr.lru != nil {
-		st.EvictedLen, st.EvictedCap, st.EvictedHits = tr.lru.stats()
+		st.EvictedLen, st.EvictedCap, st.EvictedHits, st.EvictedMisses = tr.lru.stats()
 	}
 	return st
 }
@@ -526,7 +541,7 @@ func (tr *Tracker) ConsistentView(k int) (top []jaccard.Coefficient, periods []i
 	cand = topselect.Select(cand, k, coeffBefore)
 	sortCoefficients(cand)
 	if tr.lru != nil {
-		st.EvictedLen, st.EvictedCap, st.EvictedHits = tr.lru.stats()
+		st.EvictedLen, st.EvictedCap, st.EvictedHits, st.EvictedMisses = tr.lru.stats()
 	}
 	return cand, periods, st
 }
@@ -772,11 +787,12 @@ func (s *trackerShard) rebuild() {
 // (ROADMAP: the /pairs endpoint over pruned periods). Bounded, newest
 // period wins per pair, least-recently-touched pair evicted first.
 type evictedLRU struct {
-	mu   sync.Mutex
-	cap  int
-	ll   *list.List // front = most recently touched
-	idx  map[tagset.Key]*list.Element
-	hits int64
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently touched
+	idx    map[tagset.Key]*list.Element
+	hits   int64
+	misses int64
 }
 
 type evictedPair struct {
@@ -817,6 +833,7 @@ func (l *evictedLRU) get(k tagset.Key) (jaccard.Coefficient, int64, bool) {
 	defer l.mu.Unlock()
 	el, ok := l.idx[k]
 	if !ok {
+		l.misses++
 		return jaccard.Coefficient{}, 0, false
 	}
 	l.ll.MoveToFront(el)
@@ -825,10 +842,10 @@ func (l *evictedLRU) get(k tagset.Key) (jaccard.Coefficient, int64, bool) {
 	return ep.c, ep.period, true
 }
 
-func (l *evictedLRU) stats() (length, capacity int, hits int64) {
+func (l *evictedLRU) stats() (length, capacity int, hits, misses int64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.ll.Len(), l.cap, l.hits
+	return l.ll.Len(), l.cap, l.hits, l.misses
 }
 
 // coeffBefore is the top-k ranking: descending J, then descending CN, then

@@ -52,6 +52,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -63,6 +64,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/procstat"
 	"repro/internal/tagset"
+	"repro/internal/telemetry"
 	"repro/internal/trend"
 )
 
@@ -83,6 +85,11 @@ type Config struct {
 	// must not cost a decode of the entire archive per request. A miss
 	// that hit the bound reports truncated=true. Default 64.
 	HistoryPairScan int
+	// Metrics is the telemetry registry /metrics serves. New registers the
+	// pipeline's metric families plus the server's own (per-route request
+	// latency, status classes, process gauges) into it, so pass a registry
+	// that does not already hold them — or leave nil and New creates one.
+	Metrics *telemetry.Registry
 }
 
 // withDefaults fills unset fields.
@@ -112,10 +119,47 @@ type Server struct {
 	mu   sync.RWMutex
 	snap *core.Snapshot
 
+	// /stats response cache: the static remainder of the payload is
+	// encoded once per snapshot and re-served until the refresh loop swaps
+	// a new snapshot in; only the dynamic head (snapshot_age_ms,
+	// rss_bytes) is rendered per request.
+	statsMu   sync.Mutex
+	statsSnap *core.Snapshot
+	statsBody []byte
+
+	// reg backs /metrics; routeHists and routeCounters are the per-route
+	// middleware series, wired once in New.
+	reg           *telemetry.Registry
+	routeHists    map[string]*telemetry.Histogram
+	routeCounters map[string]map[string]*telemetry.Counter
+	started       time.Time
+
 	stopOnce sync.Once
 	stop     chan struct{}
 	loopDone chan struct{}
 }
+
+// routes lists every served route pattern; the middleware uses the fixed
+// pattern — never the concrete path — as the route label, keeping the
+// metric cardinality bounded regardless of tag names in URLs.
+var routes = []string{
+	"/topk",
+	"/pairs/{tagA}/{tagB}",
+	"/trends",
+	"/trends/{tagA}/{rest...}",
+	"/events",
+	"/partition",
+	"/stats",
+	"/healthz",
+	"/readyz",
+	"/history/periods",
+	"/history/topk",
+	"/history/pairs/{tagA}/{tagB}",
+	"/history/trends",
+	"/metrics",
+}
+
+var statusClasses = []string{"2xx", "3xx", "4xx", "5xx"}
 
 // New returns a Server for a started pipeline and launches its refresh
 // loop. dict must be the dictionary the stream's tags were interned with;
@@ -129,14 +173,54 @@ func New(pipe *core.Pipeline, handle *core.Handle, dict *tagset.Dictionary, cfg 
 		handle:   handle,
 		dict:     dict,
 		cfg:      cfg.withDefaults(),
+		started:  time.Now(),
 		stop:     make(chan struct{}),
 		loopDone: make(chan struct{}),
 	}
 	pipe.Tracker().EnsureTopKBound(s.cfg.TopK)
+	s.initMetrics()
 	s.RefreshNow()
 	go s.refreshLoop()
 	return s
 }
+
+// initMetrics builds the /metrics registry: the pipeline's families, the
+// per-route middleware series, and the process gauges.
+func (s *Server) initMetrics() {
+	s.reg = s.cfg.Metrics
+	if s.reg == nil {
+		s.reg = telemetry.NewRegistry()
+	}
+	s.pipe.RegisterMetrics(s.reg)
+
+	s.routeHists = make(map[string]*telemetry.Histogram, len(routes))
+	s.routeCounters = make(map[string]map[string]*telemetry.Counter, len(routes))
+	for _, route := range routes {
+		s.routeHists[route] = s.reg.Histogram("tagcorr_http_request_seconds",
+			"HTTP request latency by route pattern.",
+			telemetry.Labels{"route": route})
+		byClass := make(map[string]*telemetry.Counter, len(statusClasses))
+		for _, class := range statusClasses {
+			byClass[class] = s.reg.Counter("tagcorr_http_requests_total",
+				"HTTP requests by route pattern and status class.",
+				telemetry.Labels{"route": route, "class": class})
+		}
+		s.routeCounters[route] = byClass
+	}
+
+	s.reg.GaugeFunc("tagcorr_process_uptime_seconds",
+		"Seconds since the serving layer started.",
+		nil, func() float64 { return time.Since(s.started).Seconds() })
+	s.reg.GaugeFunc("tagcorr_process_rss_bytes",
+		"Process resident set size (0 on platforms without /proc).",
+		nil, func() float64 { return float64(procstat.RSSBytes()) })
+	s.reg.GaugeFunc("tagcorr_process_goroutines",
+		"Live goroutines.",
+		nil, func() float64 { return float64(runtime.NumGoroutine()) })
+}
+
+// Registry exposes the telemetry registry behind /metrics.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
 
 // refreshLoop re-snapshots the pipeline every cfg.Refresh until the run
 // drains or Close is called, then takes one final snapshot so the cache
@@ -182,23 +266,77 @@ func (s *Server) Snapshot() *core.Snapshot {
 	return s.snap
 }
 
-// Handler returns the route multiplexer serving all endpoints.
+// Handler returns the route multiplexer serving all endpoints. Every route
+// runs behind the instrumentation middleware (latency histogram + status
+// class counter, labelled by the fixed route pattern).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /topk", s.handleTopK)
-	mux.HandleFunc("GET /pairs/{tagA}/{tagB}", s.handlePair)
-	mux.HandleFunc("GET /trends", s.handleTrends)
-	mux.HandleFunc("GET /trends/{tagA}/{rest...}", s.handleTrendLookup)
-	mux.HandleFunc("GET /events", s.handleEvents)
-	mux.HandleFunc("GET /partition", s.handlePartition)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /readyz", s.handleReadyz)
-	mux.HandleFunc("GET /history/periods", s.handleHistoryPeriods)
-	mux.HandleFunc("GET /history/topk", s.handleHistoryTopK)
-	mux.HandleFunc("GET /history/pairs/{tagA}/{tagB}", s.handleHistoryPair)
-	mux.HandleFunc("GET /history/trends", s.handleHistoryTrends)
+	mux.HandleFunc("GET /topk", s.instrument("/topk", s.handleTopK))
+	mux.HandleFunc("GET /pairs/{tagA}/{tagB}", s.instrument("/pairs/{tagA}/{tagB}", s.handlePair))
+	mux.HandleFunc("GET /trends", s.instrument("/trends", s.handleTrends))
+	mux.HandleFunc("GET /trends/{tagA}/{rest...}", s.instrument("/trends/{tagA}/{rest...}", s.handleTrendLookup))
+	mux.HandleFunc("GET /events", s.instrument("/events", s.handleEvents))
+	mux.HandleFunc("GET /partition", s.instrument("/partition", s.handlePartition))
+	mux.HandleFunc("GET /stats", s.instrument("/stats", s.handleStats))
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.instrument("/readyz", s.handleReadyz))
+	mux.HandleFunc("GET /history/periods", s.instrument("/history/periods", s.handleHistoryPeriods))
+	mux.HandleFunc("GET /history/topk", s.instrument("/history/topk", s.handleHistoryTopK))
+	mux.HandleFunc("GET /history/pairs/{tagA}/{tagB}", s.instrument("/history/pairs/{tagA}/{tagB}", s.handleHistoryPair))
+	mux.HandleFunc("GET /history/trends", s.instrument("/history/trends", s.handleHistoryTrends))
+	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.reg.Handler().ServeHTTP))
 	return mux
+}
+
+// statusWriter captures the response status for the middleware. It
+// forwards Flush so the /events SSE stream keeps working behind it.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps a handler with the route's latency histogram and status
+// class counter. The route label is the fixed pattern, not the request
+// path, so metric cardinality never grows with tag names.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.routeHists[route]
+	byClass := s.routeCounters[route]
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h(sw, r)
+		hist.Record(time.Since(start))
+		class := "2xx"
+		switch {
+		case sw.status >= 500:
+			class = "5xx"
+		case sw.status >= 400:
+			class = "4xx"
+		case sw.status >= 300:
+			class = "3xx"
+		}
+		byClass[class].Inc()
+	}
 }
 
 // Coefficient is the JSON rendering of one Jaccard coefficient.
@@ -760,13 +898,24 @@ func (s *Server) partitionInfo(i int, p partition.Partition) PartitionInfo {
 }
 
 // StatsResponse is the /stats payload: the full snapshot with tag sets
-// rendered to strings.
+// rendered to strings. The two head fields are rendered per request; the
+// embedded remainder is encoded once per snapshot and served from a cache
+// until the refresh loop swaps a new snapshot in.
 type StatsResponse struct {
 	// SnapshotAgeMS is how old the served snapshot is (milliseconds since
 	// its consistent Tracker pass, monotonic clock). Under CPU saturation
 	// the refresh loop can stall on operator locks; this surfaces it.
 	SnapshotAgeMS int64 `json:"snapshot_age_ms"`
+	// RSSBytes is the process resident set size (0 on platforms without
+	// /proc), read per request rather than per snapshot.
+	RSSBytes int64 `json:"rss_bytes"`
 
+	statsStatic
+}
+
+// statsStatic is the snapshot-derived remainder of the /stats payload —
+// everything that only changes when the cached snapshot does.
+type statsStatic struct {
 	DocsProcessed     int64 `json:"docs_processed"`
 	DocsBeforeInstall int64 `json:"docs_before_install"`
 	NotifiedDocs      int64 `json:"notified_docs"`
@@ -803,9 +952,8 @@ type StatsResponse struct {
 	// + fsyncing them. The archive_* fields meter background compaction:
 	// compacted files written, raw periods folded into them, periods aged
 	// out under the disk budget, and the directory size after the
-	// compactor's last pass. RSSBytes is the process resident set size
-	// (0 on platforms without /proc). These are the fields the cmd/loadgen
-	// driver scrapes between query rounds.
+	// compactor's last pass. These are the fields the cmd/loadgen driver
+	// scrapes between query rounds.
 	Checkpoints             int64 `json:"checkpoints"`
 	CheckpointStallMS       int64 `json:"checkpoint_stall_ms"`
 	CheckpointWriteMS       int64 `json:"checkpoint_write_ms"`
@@ -813,7 +961,13 @@ type StatsResponse struct {
 	ArchiveCompactedPeriods int64 `json:"archive_compacted_periods"`
 	ArchiveAgedOutPeriods   int64 `json:"archive_aged_out_periods"`
 	ArchiveBytes            int64 `json:"archive_bytes"`
-	RSSBytes                int64 `json:"rss_bytes"`
+
+	// The stage_* objects summarise the end-to-end stage-latency
+	// histograms (count, p50/p99/max milliseconds); full bucket detail is
+	// on /metrics.
+	StageDocPartition     core.StageLatency `json:"stage_doc_partition"`
+	StageDocCoefficient   core.StageLatency `json:"stage_doc_coefficient"`
+	StageDocTrackerAccept core.StageLatency `json:"stage_doc_tracker_accept"`
 
 	Tracker TrackerStats `json:"tracker"`
 	Trends  *TrendStats  `json:"trends,omitempty"`
@@ -854,11 +1008,52 @@ type TrackerStats struct {
 	EvictedLen      int   `json:"evicted_pairs"`
 	EvictedCap      int   `json:"evicted_pairs_cap"`
 	EvictedHits     int64 `json:"evicted_pair_hits"`
+	EvictedMisses   int64 `json:"evicted_pair_misses"`
 	Late            int64 `json:"late_reports"`
 }
 
+// handleStats serves the dynamic head (snapshot age, RSS) per request and
+// splices in the cached encoding of the snapshot-derived remainder. The
+// cache is keyed on the snapshot pointer, so a refresh invalidates it
+// without any extra bookkeeping.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := s.Snapshot()
+	body := s.statsBodyFor(snap)
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\n  \"snapshot_age_ms\": %d,\n  \"rss_bytes\": %d,",
+		time.Since(snap.TakenAt).Milliseconds(), procstat.RSSBytes())
+	w.Write(body) //nolint:errcheck // best effort; the client is gone on error
+	fmt.Fprintln(w)
+}
+
+// statsBodyFor returns the encoded statsStatic for snap, rebuilding the
+// cache when the snapshot changed since the last request. The returned
+// bytes start after the payload's opening brace (the dynamic head supplies
+// it plus the two leading fields).
+func (s *Server) statsBodyFor(snap *core.Snapshot) []byte {
+	s.statsMu.Lock()
+	if s.statsSnap == snap && s.statsBody != nil {
+		body := s.statsBody
+		s.statsMu.Unlock()
+		return body
+	}
+	s.statsMu.Unlock()
+
+	enc, err := json.MarshalIndent(s.buildStatsStatic(snap), "", "  ")
+	if err != nil {
+		// statsStatic holds no unencodable types; keep the route alive
+		// regardless.
+		enc = []byte("{\n  \"error\": \"encode failed\"\n}")
+	}
+	body := enc[1:] // strip "{"; the head printed it
+
+	s.statsMu.Lock()
+	s.statsSnap, s.statsBody = snap, body
+	s.statsMu.Unlock()
+	return body
+}
+
+func (s *Server) buildStatsStatic(snap *core.Snapshot) statsStatic {
 	var trends *TrendStats
 	if v := snap.Trends; v != nil {
 		trends = &TrendStats{
@@ -878,8 +1073,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Subscribers:     v.Stats.Subscribers,
 		}
 	}
-	writeJSON(w, StatsResponse{
-		SnapshotAgeMS:     time.Since(snap.TakenAt).Milliseconds(),
+	return statsStatic{
 		DocsProcessed:     snap.DocsProcessed,
 		DocsBeforeInstall: snap.DocsBeforeInstall,
 		NotifiedDocs:      snap.NotifiedDocs,
@@ -913,7 +1107,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ArchiveCompactedPeriods: snap.ArchiveCompactedPeriods,
 		ArchiveAgedOutPeriods:   snap.ArchiveAgedOutPeriods,
 		ArchiveBytes:            snap.ArchiveBytes,
-		RSSBytes:                procstat.RSSBytes(),
+
+		StageDocPartition:     snap.StageDocPartition,
+		StageDocCoefficient:   snap.StageDocCoefficient,
+		StageDocTrackerAccept: snap.StageDocTrackerAccept,
 
 		Tracker: TrackerStats{
 			Shards:          snap.Tracker.Shards,
@@ -926,13 +1123,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			EvictedLen:      snap.Tracker.EvictedLen,
 			EvictedCap:      snap.Tracker.EvictedCap,
 			EvictedHits:     snap.Tracker.EvictedHits,
+			EvictedMisses:   snap.Tracker.EvictedMisses,
 			Late:            snap.Tracker.Late,
 		},
 		Trends: trends,
 
 		EmittedByComponent:  snap.EmittedByComponent,
 		ReceivedByComponent: snap.ReceivedByComponent,
-	})
+	}
 }
 
 // HealthResponse is the /healthz payload.

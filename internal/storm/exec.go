@@ -139,10 +139,13 @@ type mailbox struct {
 	items  []envelope
 	head   int // next slot to read; items[:head] are consumed and zeroed
 	closed bool
+
+	stats *Stats // depth high-water and compaction telemetry
+	task  TaskID
 }
 
-func newMailbox() *mailbox {
-	m := &mailbox{}
+func newMailbox(stats *Stats, task TaskID) *mailbox {
+	m := &mailbox{stats: stats, task: task}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
@@ -150,7 +153,9 @@ func newMailbox() *mailbox {
 func (m *mailbox) put(e envelope) {
 	m.mu.Lock()
 	m.items = append(m.items, e)
+	depth := int64(len(m.items) - m.head)
 	m.mu.Unlock()
+	m.stats.noteMailboxDepth(m.task, depth)
 	m.cond.Signal()
 }
 
@@ -186,6 +191,7 @@ func (m *mailbox) get() (envelope, bool) {
 		}
 		m.items = m.items[:n]
 		m.head = 0
+		atomic.AddInt64(&m.stats.mailboxCompact, 1)
 	}
 	return e, true
 }
@@ -364,7 +370,7 @@ func (tp *Topology) StartConcurrent() *Run {
 	ex.throttle = sync.NewCond(&ex.throttleMu)
 	ex.boxes = make([]*mailbox, len(tp.tasks))
 	for i := range ex.boxes {
-		ex.boxes[i] = newMailbox()
+		ex.boxes[i] = newMailbox(tp.stats, TaskID(i))
 	}
 
 	for _, t := range tp.tasks {

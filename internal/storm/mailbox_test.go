@@ -7,8 +7,14 @@ import "testing"
 // mailbox restarts at the front of its slice, dropping oversized backing
 // arrays — a long-running service's mailboxes otherwise pin every tagset
 // slice and coefficient batch that ever passed through them.
+// testMailbox returns a mailbox wired to a standalone Stats so tests can
+// also observe the depth/compaction telemetry.
+func testMailbox() *mailbox {
+	return newMailbox(&Stats{mailboxHW: make([]int64, 1)}, 0)
+}
+
 func TestMailboxZeroesAndCompacts(t *testing.T) {
-	m := newMailbox()
+	m := testMailbox()
 	payload := func(i int) envelope {
 		return envelope{to: TaskID(i), t: Tuple{Stream: "s", Values: []interface{}{i}}}
 	}
@@ -67,7 +73,7 @@ func TestMailboxZeroesAndCompacts(t *testing.T) {
 // the front once the dead prefix dominates, so memory tracks the queued
 // tuples, not every tuple ever delivered.
 func TestMailboxCompactsUnderSteadyBacklog(t *testing.T) {
-	m := newMailbox()
+	m := testMailbox()
 	payload := func(i int) envelope {
 		return envelope{t: Tuple{Values: []interface{}{i}}}
 	}
@@ -110,4 +116,10 @@ func TestMailboxCompactsUnderSteadyBacklog(t *testing.T) {
 		t.Errorf("fully drained mailbox not reset: len=%d head=%d", len(m.items), m.head)
 	}
 	m.mu.Unlock()
+	if m.stats.MailboxCompactions() == 0 {
+		t.Error("steady-backlog compactions were not counted")
+	}
+	if hw := m.stats.mailboxHW[0]; hw < total {
+		t.Errorf("mailbox high-water %d, want >= %d", hw, total)
+	}
 }

@@ -306,14 +306,21 @@ type Stats struct {
 	received map[string]*int64 // per component; map immutable after Build
 	perTask  []int64           // atomic; indexed by TaskID
 	names    []string
+
+	// Mailbox pressure, populated by the concurrent executor only: the
+	// high-water queue depth per task, and the total number of steady-
+	// backlog compactions (dead-prefix slides) across all mailboxes.
+	mailboxHW      []int64 // atomic; indexed by TaskID
+	mailboxCompact int64   // atomic
 }
 
 func newStats(tp *Topology) *Stats {
 	s := &Stats{
-		emitted:  make(map[string]*int64, len(tp.nodes)),
-		received: make(map[string]*int64, len(tp.nodes)),
-		perTask:  make([]int64, len(tp.tasks)),
-		names:    make([]string, len(tp.tasks)),
+		emitted:   make(map[string]*int64, len(tp.nodes)),
+		received:  make(map[string]*int64, len(tp.nodes)),
+		perTask:   make([]int64, len(tp.tasks)),
+		names:     make([]string, len(tp.tasks)),
+		mailboxHW: make([]int64, len(tp.tasks)),
 	}
 	for _, n := range tp.nodes {
 		s.emitted[n.name] = new(int64)
@@ -370,6 +377,38 @@ func (s *Stats) Totals() (emitted, received map[string]int64) {
 		}
 	}
 	return emitted, received
+}
+
+// noteMailboxDepth records a post-enqueue queue depth for a task,
+// keeping the high-water mark.
+func (s *Stats) noteMailboxDepth(task TaskID, depth int64) {
+	for {
+		cur := atomic.LoadInt64(&s.mailboxHW[task])
+		if depth <= cur || atomic.CompareAndSwapInt64(&s.mailboxHW[task], cur, depth) {
+			return
+		}
+	}
+}
+
+// MailboxHighWater returns the per-task high-water mailbox depths of the
+// named component, in instance order. All zeros under the sequential
+// executor, which has no mailboxes.
+func (s *Stats) MailboxHighWater(tp *Topology, component string) []int64 {
+	n := tp.components[component]
+	if n == nil {
+		return nil
+	}
+	out := make([]int64, len(n.tasks))
+	for i, id := range n.tasks {
+		out[i] = atomic.LoadInt64(&s.mailboxHW[id])
+	}
+	return out
+}
+
+// MailboxCompactions returns the total number of steady-backlog mailbox
+// compactions across all tasks.
+func (s *Stats) MailboxCompactions() int64 {
+	return atomic.LoadInt64(&s.mailboxCompact)
 }
 
 // TaskReceived returns per-task received counts for the named component.

@@ -1,0 +1,308 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed time series value. For histogram families the
+// sample names carry the _bucket/_sum/_count suffixes verbatim.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one parsed metric family.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+// ParseText parses Prometheus text exposition format 0.0.4 as produced by
+// WriteText (and by real Prometheus clients): # HELP/# TYPE headers,
+// escaped label values, histogram suffix series. Sample lines must follow
+// their family's header — the strictness keeps malformed scrapes from
+// passing tests silently.
+func ParseText(r io.Reader) (map[string]*Family, error) {
+	fams := make(map[string]*Family)
+	var cur *Family
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimPrefix(line, "#")
+			rest = strings.TrimLeft(rest, " ")
+			switch {
+			case strings.HasPrefix(rest, "HELP "):
+				name, text, ok := strings.Cut(strings.TrimPrefix(rest, "HELP "), " ")
+				if !ok {
+					text = ""
+				}
+				cur = ensureFamily(fams, name)
+				cur.Help = unescapeHelp(text)
+			case strings.HasPrefix(rest, "TYPE "):
+				name, typ, ok := strings.Cut(strings.TrimPrefix(rest, "TYPE "), " ")
+				if !ok {
+					return nil, fmt.Errorf("line %d: TYPE without a type", lineNo)
+				}
+				cur = ensureFamily(fams, name)
+				cur.Type = typ
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if cur == nil || !belongsTo(cur, s.Name) {
+			return nil, fmt.Errorf("line %d: sample %s outside its family header", lineNo, s.Name)
+		}
+		cur.Samples = append(cur.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+func ensureFamily(fams map[string]*Family, name string) *Family {
+	if f, ok := fams[name]; ok {
+		return f
+	}
+	f := &Family{Name: name}
+	fams[name] = f
+	return f
+}
+
+// belongsTo reports whether a sample name belongs to family f, allowing
+// the histogram suffix series.
+func belongsTo(f *Family, sample string) bool {
+	if sample == f.Name {
+		return true
+	}
+	if f.Type == "histogram" {
+		switch sample {
+		case f.Name + "_bucket", f.Name + "_sum", f.Name + "_count":
+			return true
+		}
+	}
+	return false
+}
+
+// parseSample parses `name{k="v",...} value` or `name value`.
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:i]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		var err error
+		rest, err = parseLabels(rest[1:], s.Labels)
+		if err != nil {
+			return s, err
+		}
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return s, fmt.Errorf("sample %s: bad value: %w", s.Name, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels consumes `k="v",...}` from in, filling into, and returns
+// the remainder after the closing brace.
+func parseLabels(in string, into map[string]string) (string, error) {
+	for {
+		in = strings.TrimLeft(in, " ,")
+		if in == "" {
+			return "", fmt.Errorf("unterminated label set")
+		}
+		if in[0] == '}' {
+			return in[1:], nil
+		}
+		eq := strings.IndexByte(in, '=')
+		if eq < 0 {
+			return "", fmt.Errorf("label without '='")
+		}
+		key := strings.TrimSpace(in[:eq])
+		if !validName(key) {
+			return "", fmt.Errorf("invalid label name %q", key)
+		}
+		in = strings.TrimLeft(in[eq+1:], " ")
+		if in == "" || in[0] != '"' {
+			return "", fmt.Errorf("label %s: unquoted value", key)
+		}
+		val, rest, err := parseQuoted(in[1:])
+		if err != nil {
+			return "", fmt.Errorf("label %s: %w", key, err)
+		}
+		into[key] = val
+		in = rest
+	}
+}
+
+// parseQuoted consumes an escaped label value up to the closing quote and
+// returns (value, remainder).
+func parseQuoted(in string) (string, string, error) {
+	var b strings.Builder
+	for i := 0; i < len(in); i++ {
+		switch in[i] {
+		case '"':
+			return b.String(), in[i+1:], nil
+		case '\\':
+			i++
+			if i >= len(in) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			switch in[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case '\\', '"':
+				b.WriteByte(in[i])
+			default:
+				return "", "", fmt.Errorf("unknown escape \\%c", in[i])
+			}
+		default:
+			b.WriteByte(in[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted value")
+}
+
+func unescapeHelp(s string) string {
+	if !strings.Contains(s, "\\") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				b.WriteByte('\\')
+				b.WriteByte(s[i])
+			}
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// HistogramData is the decoded bucket series of one histogram time
+// series: parallel ascending upper bounds (seconds; the +Inf bucket is
+// dropped, Count covers it) and cumulative counts, plus _sum/_count.
+type HistogramData struct {
+	Les   []float64
+	Cum   []float64
+	Sum   float64
+	Count float64
+}
+
+// Histogram extracts the bucket series whose labels (ignoring le) equal
+// match exactly. Returns false if the family has no such series.
+func (f *Family) Histogram(match map[string]string) (*HistogramData, bool) {
+	d := &HistogramData{}
+	type bkt struct {
+		le float64
+		v  float64
+	}
+	var bkts []bkt
+	found := false
+	for _, s := range f.Samples {
+		if !labelsMatch(s.Labels, match) {
+			continue
+		}
+		switch s.Name {
+		case f.Name + "_sum":
+			d.Sum = s.Value
+			found = true
+		case f.Name + "_count":
+			d.Count = s.Value
+			found = true
+		case f.Name + "_bucket":
+			le := s.Labels["le"]
+			if le == "+Inf" {
+				continue
+			}
+			v, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				continue
+			}
+			bkts = append(bkts, bkt{le: v, v: s.Value})
+			found = true
+		}
+	}
+	if !found {
+		return nil, false
+	}
+	sort.Slice(bkts, func(i, j int) bool { return bkts[i].le < bkts[j].le })
+	for _, b := range bkts {
+		d.Les = append(d.Les, b.le)
+		d.Cum = append(d.Cum, b.v)
+	}
+	return d, true
+}
+
+// Quantile estimates quantile q from the cumulative buckets (upper-bound
+// semantics matching Histogram.Quantile), in seconds.
+func (d *HistogramData) Quantile(q float64) float64 {
+	if d.Count <= 0 {
+		return 0
+	}
+	rank := q*d.Count + 0.5
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > d.Count {
+		rank = d.Count
+	}
+	for i, c := range d.Cum {
+		if c >= rank {
+			return d.Les[i]
+		}
+	}
+	if n := len(d.Les); n > 0 {
+		return d.Les[n-1]
+	}
+	return 0
+}
+
+// labelsMatch reports whether got equals want ignoring the le label.
+func labelsMatch(got, want map[string]string) bool {
+	n := 0
+	for k, v := range got {
+		if k == "le" {
+			continue
+		}
+		if want[k] != v {
+			return false
+		}
+		n++
+	}
+	return n == len(want)
+}

@@ -1,0 +1,290 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"math"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// buildGoldenRegistry wires a small deterministic registry exercising
+// every member kind, labeled and unlabeled.
+func buildGoldenRegistry() *Registry {
+	r := NewRegistry()
+	c := r.Counter("tagcorr_test_docs_total", "Documents seen.", nil)
+	c.Add(41)
+	c.Inc()
+	r.CounterFunc("tagcorr_test_tuples_total", "Tuples by component.", Labels{"component": "parser"}, func() int64 { return 7 })
+	r.CounterFunc("tagcorr_test_tuples_total", "Tuples by component.", Labels{"component": "tracker"}, func() int64 { return 9 })
+	r.GaugeFunc("tagcorr_test_gini", "Load dispersion.", nil, func() float64 { return 0.25 })
+	h := r.Histogram("tagcorr_test_latency_seconds", "Stage latency.", Labels{"stage": "doc_partition"})
+	for _, d := range []time.Duration{500 * time.Microsecond, 2 * time.Millisecond, 2 * time.Millisecond, 90 * time.Second} {
+		h.Record(d)
+	}
+	r.Histogram("tagcorr_test_empty_seconds", "Never recorded.", nil)
+	return r
+}
+
+func TestExpositionGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildGoldenRegistry().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition differs from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestParseBackRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	gnarly := "a\"b\\c\nd"
+	c := r.Counter("tagcorr_esc_total", "Help with \\backslash and\nnewline.", Labels{"path": gnarly})
+	c.Add(3)
+	h := r.Histogram("tagcorr_esc_seconds", "Latency.", Labels{"route": "/pairs/{tagA}/{tagB}"})
+	h.Record(10 * time.Microsecond)
+	h.Record(5 * time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("parse back: %v\n%s", err, buf.Bytes())
+	}
+
+	cf := fams["tagcorr_esc_total"]
+	if cf == nil || cf.Type != "counter" {
+		t.Fatalf("counter family missing or mistyped: %+v", cf)
+	}
+	if want := "Help with \\backslash and\nnewline."; cf.Help != want {
+		t.Errorf("help round-trip: got %q want %q", cf.Help, want)
+	}
+	if len(cf.Samples) != 1 || cf.Samples[0].Labels["path"] != gnarly || cf.Samples[0].Value != 3 {
+		t.Errorf("counter sample round-trip failed: %+v", cf.Samples)
+	}
+
+	hf := fams["tagcorr_esc_seconds"]
+	if hf == nil || hf.Type != "histogram" {
+		t.Fatalf("histogram family missing or mistyped: %+v", hf)
+	}
+	checkHistogramInvariants(t, hf, map[string]string{"route": "/pairs/{tagA}/{tagB}"}, 2)
+	d, ok := hf.Histogram(map[string]string{"route": "/pairs/{tagA}/{tagB}"})
+	if !ok {
+		t.Fatal("Histogram() did not find the labeled series")
+	}
+	wantSum := (10*time.Microsecond + 5*time.Millisecond).Seconds()
+	if math.Abs(d.Sum-wantSum) > 1e-9 {
+		t.Errorf("sum: got %v want %v", d.Sum, wantSum)
+	}
+}
+
+// checkHistogramInvariants asserts the exposition-format histogram
+// contract on parsed samples: le values strictly ascending, cumulative
+// counts non-decreasing, and +Inf bucket == _count.
+func checkHistogramInvariants(t *testing.T, f *Family, match map[string]string, wantCount float64) {
+	t.Helper()
+	var lastLe, lastCum float64 = math.Inf(-1), 0
+	var inf, count float64
+	var sawInf, sawCount bool
+	for _, s := range f.Samples {
+		if !labelsMatch(s.Labels, match) {
+			continue
+		}
+		switch s.Name {
+		case f.Name + "_bucket":
+			if s.Labels["le"] == "+Inf" {
+				inf, sawInf = s.Value, true
+				continue
+			}
+			le, err := parseFloat(s.Labels["le"])
+			if err != nil {
+				t.Fatalf("bad le %q", s.Labels["le"])
+			}
+			if le <= lastLe {
+				t.Errorf("le not ascending: %v after %v", le, lastLe)
+			}
+			if s.Value < lastCum {
+				t.Errorf("cumulative count decreased: %v after %v", s.Value, lastCum)
+			}
+			lastLe, lastCum = le, s.Value
+		case f.Name + "_count":
+			count, sawCount = s.Value, true
+		}
+	}
+	if !sawInf || !sawCount {
+		t.Fatalf("histogram %s missing +Inf (%v) or _count (%v)", f.Name, sawInf, sawCount)
+	}
+	if inf != count {
+		t.Errorf("+Inf bucket %v != _count %v", inf, count)
+	}
+	if inf < lastCum {
+		t.Errorf("+Inf bucket %v below last finite bucket %v", inf, lastCum)
+	}
+	if wantCount >= 0 && count != wantCount {
+		t.Errorf("_count: got %v want %v", count, wantCount)
+	}
+}
+
+func parseFloat(s string) (float64, error) { return strconv.ParseFloat(s, 64) }
+
+func TestQuantileMatchesParsedBuckets(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 1000; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	r := NewRegistry()
+	r.Observe("tagcorr_q_seconds", "q", nil, h)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := fams["tagcorr_q_seconds"].Histogram(nil)
+	if !ok {
+		t.Fatal("no histogram data")
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		direct := h.Quantile(q).Seconds()
+		parsed := d.Quantile(q)
+		if math.Abs(direct-parsed) > 1e-9 {
+			t.Errorf("q=%v: direct %v != parsed %v", q, direct, parsed)
+		}
+	}
+	if d.Count != 1000 {
+		t.Errorf("parsed count %v", d.Count)
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tagcorr_x_total", "x", nil).Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != ContentType {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "tagcorr_x_total 1") {
+		t.Errorf("body missing counter:\n%s", rec.Body.String())
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("tagcorr_dup_total", "d", Labels{"a": "1"})
+	mustPanic("duplicate series", func() { r.Counter("tagcorr_dup_total", "d", Labels{"a": "1"}) })
+	mustPanic("kind mismatch", func() { r.GaugeFunc("tagcorr_dup_total", "d", nil, func() float64 { return 0 }) })
+	mustPanic("bad metric name", func() { r.Counter("0bad", "d", nil) })
+	mustPanic("bad label name", func() { r.Counter("tagcorr_ok_total", "d", Labels{"0bad": "x"}) })
+}
+
+// TestConcurrentScrapeStress races recorders against scrapers; run under
+// -race in CI it asserts a scrape never blocks or corrupts recording, and
+// that every mid-flight scrape still satisfies the histogram invariants.
+func TestConcurrentScrapeStress(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("tagcorr_stress_total", "s", nil)
+	h := r.Histogram("tagcorr_stress_seconds", "s", Labels{"stage": "x"})
+	var gv int64
+	r.GaugeFunc("tagcorr_stress_gauge", "s", nil, func() float64 { return float64(gv) })
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			d := time.Duration(seed+1) * time.Microsecond
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				h.Record(d)
+			}
+		}(w)
+	}
+	deadline := time.Now().Add(300 * time.Millisecond)
+	scrapes := 0
+	for time.Now().Before(deadline) {
+		var buf bytes.Buffer
+		if err := r.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		fams, err := ParseText(&buf)
+		if err != nil {
+			t.Fatalf("scrape %d unparseable: %v", scrapes, err)
+		}
+		checkHistogramInvariants(t, fams["tagcorr_stress_seconds"], map[string]string{"stage": "x"}, -1)
+		scrapes++
+	}
+	close(stop)
+	wg.Wait()
+	if scrapes == 0 {
+		t.Fatal("no scrapes completed")
+	}
+	// One final quiesced scrape: totals must now be exact.
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := fams["tagcorr_stress_seconds"].Histogram(map[string]string{"stage": "x"})
+	if int64(d.Count) != h.Count() {
+		t.Errorf("final count %v != %v", d.Count, h.Count())
+	}
+	if got := fams["tagcorr_stress_total"].Samples[0].Value; int64(got) != c.Value() {
+		t.Errorf("final counter %v != %v", got, c.Value())
+	}
+}
+
+func TestWriteTextToFailingWriter(t *testing.T) {
+	r := buildGoldenRegistry()
+	if err := r.WriteText(failWriter{}); err == nil {
+		t.Error("expected error from failing writer")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, io.ErrClosedPipe }
