@@ -43,8 +43,8 @@ func (p *Pipeline) registerStormMetrics(reg *telemetry.Registry) {
 		reg.CounterFunc("tagcorr_storm_tuples_received_total",
 			"Tuples received by each topology component.",
 			telemetry.Labels{"component": c}, func() int64 { return st.Received(c) })
-		reg.GaugeFunc("tagcorr_storm_mailbox_depth_high_water",
-			"Deepest mailbox backlog observed by any task of the component (0 under the sequential executor).",
+		reg.GaugeFunc("tagcorr_storm_mailbox_high_water_tuples",
+			"Deepest mailbox backlog observed by any task of the component, in tuples (0 under the sequential executor).",
 			telemetry.Labels{"component": c}, func() float64 {
 				var max int64
 				for _, d := range st.MailboxHighWater(p.topo, c) {
@@ -120,10 +120,10 @@ func (p *Pipeline) registerDissemMetrics(reg *telemetry.Registry) {
 				}
 			})
 	}
-	reg.GaugeFunc("tagcorr_dissem_communication",
+	reg.GaugeFunc("tagcorr_dissem_communication", //vet:ok metricnames -- the paper's dimensionless communication measure (Section 8.2.1); the name is kept verbatim so dashboards match the paper's terminology
 		"Run-average notifications per notified document (paper Section 8.2.1).",
 		nil, func() float64 { s := p.dissemTotals(); return s.Communication() })
-	reg.GaugeFunc("tagcorr_dissem_load_gini",
+	reg.GaugeFunc("tagcorr_dissem_load_gini", //vet:ok metricnames -- Gini coefficient of the paper's load measure (Section 8.2.2); dimensionless by definition and named after the paper
 		"Gini coefficient of cumulative per-Calculator notifications (paper Section 8.2.2).",
 		nil, func() float64 { s := p.dissemTotals(); return s.LoadGini() })
 }

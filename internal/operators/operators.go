@@ -14,6 +14,7 @@ package operators
 import (
 	"fmt"
 	"hash/fnv"
+	"math"
 
 	"repro/internal/jaccard"
 	"repro/internal/partition"
@@ -148,7 +149,7 @@ type Config struct {
 	ReportEvery stream.Millis // Calculator reporting period y (paper: 5 min)
 	WindowSpan  stream.Millis // Partitioner window W (paper: 5 min)
 	MaxTags     int           // Parser tag cap (paper observes < 10)
-	Seed        int64         // SCI randomness
+	Seed        int64         //vet:ok configparity -- SCI randomness; every int64 is a valid seed
 
 	Parsers       int // Parser instances (paper experiments: 1)
 	Disseminators int // Disseminator instances (paper experiments: 1)
@@ -174,7 +175,7 @@ type Config struct {
 	// NoSeries disables the per-batch figure time series (CommSeries,
 	// LoadSeries), whose memory grows with the run. Service deployments
 	// (cmd/tagcorrd) set it; the scalar statistics are unaffected.
-	NoSeries bool
+	NoSeries bool //vet:ok configparity -- free toggle; both values are valid
 
 	// TrackerShards sets how many lock shards the Tracker splits its
 	// retained coefficients into (rounded up to a power of two); reports
@@ -222,7 +223,7 @@ type Config struct {
 	// (fields-grouped by tagset key) feeding a sharded trend.Stream
 	// detector, and Snapshot carries a Trends view. Off — the batch
 	// default — adds no operator and no extra dataflow.
-	Trend bool
+	Trend bool //vet:ok configparity -- free toggle; both values are valid
 
 	// TrendAlpha is the detector's exponential-smoothing factor
 	// (0: default 0.4); TrendMinSupport drops reports with a smaller
@@ -269,7 +270,7 @@ type Config struct {
 	// When set, the Source stamps every document with a monotonic ingest
 	// time and the Partitioner, Calculator and Tracker record their
 	// doc→stage latencies into it. nil — the default — traces nothing.
-	Stages *Stages
+	Stages *Stages //vet:ok configparity -- optional tracing sink; nil and any non-nil value are valid
 
 	// CalibrateRefs replaces the Merger's partition-level reference
 	// quality with the first statistics batch measured on live traffic
@@ -278,7 +279,7 @@ type Config struct {
 	// every merged pseudo-tagset is fully covered by its own partition —
 	// and therefore trip repartitions readily, matching the high
 	// repartition counts of Figure 6.
-	CalibrateRefs bool
+	CalibrateRefs bool //vet:ok configparity -- free toggle; both values are valid
 }
 
 // DefaultConfig returns the paper's default parameter setting: P=10, k=10,
@@ -310,7 +311,7 @@ func (c Config) Validate() error {
 		return fmt.Errorf("operators: P = %d", c.P)
 	case !c.Algorithm.Valid():
 		return fmt.Errorf("operators: algorithm %q", c.Algorithm)
-	case c.Thr < 0:
+	case c.Thr < 0 || math.IsNaN(c.Thr):
 		return fmt.Errorf("operators: thr = %g", c.Thr)
 	case c.SN < 1:
 		return fmt.Errorf("operators: sn = %d", c.SN)
@@ -344,13 +345,13 @@ func (c Config) Validate() error {
 		return fmt.Errorf("operators: trackerTasks = %d", c.TrackerTasks)
 	case c.NotifyBatch < 0:
 		return fmt.Errorf("operators: notifyBatch = %d", c.NotifyBatch)
-	case c.TrendAlpha < 0 || c.TrendAlpha > 1:
+	case c.TrendAlpha < 0 || c.TrendAlpha > 1 || math.IsNaN(c.TrendAlpha):
 		return fmt.Errorf("operators: trendAlpha = %g", c.TrendAlpha)
 	case c.TrendMinSupport < 0:
 		return fmt.Errorf("operators: trendMinSupport = %d", c.TrendMinSupport)
 	case c.TrendTopK < 0:
 		return fmt.Errorf("operators: trendTopK = %d", c.TrendTopK)
-	case c.TrendThreshold < 0 || c.TrendThreshold > 1:
+	case c.TrendThreshold < 0 || c.TrendThreshold > 1 || math.IsNaN(c.TrendThreshold):
 		return fmt.Errorf("operators: trendThreshold = %g", c.TrendThreshold)
 	case c.TrendShards < 0:
 		return fmt.Errorf("operators: trendShards = %d", c.TrendShards)

@@ -1,6 +1,7 @@
 package operators
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/jaccard"
@@ -72,6 +73,13 @@ func TestConfigValidate(t *testing.T) {
 		{"negative trendMinSupport", func(c *Config) { c.TrendMinSupport = -1 }, false},
 		{"negative trendTopK", func(c *Config) { c.TrendTopK = -1 }, false},
 		{"trendThreshold above one", func(c *Config) { c.TrendThreshold = 2 }, false},
+
+		// NaN passes every `< 0` / `> 1` comparison, so each float knob
+		// needs an explicit math.IsNaN rejection — the gap configparity
+		// surfaced when these fields were audited against Validate.
+		{"NaN thr", func(c *Config) { c.Thr = math.NaN() }, false},
+		{"NaN trendAlpha", func(c *Config) { c.TrendAlpha = math.NaN() }, false},
+		{"NaN trendThreshold", func(c *Config) { c.TrendThreshold = math.NaN() }, false},
 		{"negative trendShards", func(c *Config) { c.TrendShards = -1 }, false},
 		{"negative trendTasks", func(c *Config) { c.TrendTasks = -1 }, false},
 		{"negative checkpointEvery", func(c *Config) { c.CheckpointEvery = -1 }, false},

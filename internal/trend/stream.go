@@ -202,7 +202,9 @@ func NewStream(cfg StreamConfig) (*Stream, error) {
 	}
 	s.reg.known = make(map[int64]struct{})
 	s.reg.floor = math.MinInt64
-	s.latest = math.MinInt64
+	// latest is read atomically for the rest of the Stream's life; store it
+	// atomically here too so every access of the field is uniform.
+	atomic.StoreInt64(&s.latest, math.MinInt64)
 	return s, nil
 }
 

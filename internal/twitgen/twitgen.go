@@ -25,7 +25,8 @@ import (
 
 // Config parameterises the synthetic stream.
 type Config struct {
-	Seed int64 // RNG seed; equal seeds give byte-identical streams
+	// Seed is the RNG seed; equal seeds give byte-identical streams.
+	Seed int64 //vet:ok configparity -- every int64 is a valid seed
 	TPS  int   // full-stream arrival rate (tweets per second of virtual time)
 
 	// TaggedFraction is the share of tweets carrying at least one hashtag.
@@ -95,12 +96,18 @@ func (c Config) Validate() error {
 		return fmt.Errorf("twitgen: TagsPerTopic = %d", c.TagsPerTopic)
 	case c.MaxTags < 1 || c.MaxTags > 16:
 		return fmt.Errorf("twitgen: MaxTags = %d (want 1..16)", c.MaxTags)
+	case c.TopicSkew < 0:
+		return fmt.Errorf("twitgen: TopicSkew = %g", c.TopicSkew)
+	case c.TagSkew < 0:
+		return fmt.Errorf("twitgen: TagSkew = %g", c.TagSkew)
 	case c.LengthSkew < 0:
 		return fmt.Errorf("twitgen: LengthSkew = %g", c.LengthSkew)
 	case c.MixProb < 0 || c.MixProb > 1:
 		return fmt.Errorf("twitgen: MixProb = %g", c.MixProb)
 	case c.NewTagProb < 0 || c.NewTagProb > 1:
 		return fmt.Errorf("twitgen: NewTagProb = %g", c.NewTagProb)
+	case c.DriftInterval < 0:
+		return fmt.Errorf("twitgen: DriftInterval = %d", c.DriftInterval)
 	}
 	return nil
 }

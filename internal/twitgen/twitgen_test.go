@@ -29,6 +29,11 @@ func TestValidate(t *testing.T) {
 		func(c *Config) { c.LengthSkew = -1 },
 		func(c *Config) { c.MixProb = 1.5 },
 		func(c *Config) { c.NewTagProb = -0.1 },
+		// Negative skews would panic inside zipf.New; negative drift would
+		// loop maybeDrift forever — the gaps configparity surfaced.
+		func(c *Config) { c.TopicSkew = -0.5 },
+		func(c *Config) { c.TagSkew = -0.5 },
+		func(c *Config) { c.DriftInterval = -1 },
 	}
 	for i, mutate := range bad {
 		cfg := Default()

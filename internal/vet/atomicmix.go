@@ -1,0 +1,167 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix flags mixed atomic/plain access: once any code in a package
+// reaches a variable (almost always a struct field) through sync/atomic —
+// atomic.AddInt64(&x.n, 1) and friends — every other read or write of that
+// variable must go through sync/atomic too. A plain load next to an atomic
+// store is a data race even when it "only reads a counter": the race
+// detector catches it only if a test happens to interleave, while this
+// check catches it always.
+//
+// Whole-variable analysis is package-scoped (the counters this codebase
+// cares about — Tracker.Received, trend.Stream's counters, storm.Stats —
+// are all accessed within their own package). For slice fields whose
+// elements are accessed atomically (atomic.AddInt64(&s.perTask[i], 1)),
+// only plain element accesses are flagged; replacing, sizing or ranging
+// the slice header itself is fine.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "variables accessed via sync/atomic must never be read or written plainly",
+	Run:  runAtomicMix,
+}
+
+// atomicOps are the sync/atomic functions whose first argument is the
+// address of the variable.
+var atomicOps = map[string]bool{}
+
+func init() {
+	for _, op := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap"} {
+		for _, t := range []string{"Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer"} {
+			atomicOps[op+t] = true
+		}
+	}
+}
+
+func runAtomicMix(pass *Pass) {
+	info := pass.Pkg.Info
+
+	// Pass 1: every variable whose address feeds a sync/atomic call, split
+	// into whole-variable and element-wise (slice) atomics. Also remember
+	// the selector/ident nodes that appear inside atomic arguments so pass
+	// 2 can skip them.
+	whole := map[*types.Var]bool{}
+	elem := map[*types.Var]bool{}
+	inAtomic := map[ast.Node]bool{}
+
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(info, call) || len(call.Args) == 0 {
+				return true
+			}
+			un, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				return true
+			}
+			target := un.X
+			markAll(inAtomic, target)
+			switch t := target.(type) {
+			case *ast.IndexExpr:
+				if v := varOf(info, t.X); v != nil {
+					elem[v] = true
+				}
+			default:
+				if v := varOf(info, target); v != nil {
+					whole[v] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(whole) == 0 && len(elem) == 0 {
+		return
+	}
+
+	// Pass 2: flag plain accesses of those variables.
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if inAtomic[n] {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if v := fieldVar(info, n); v != nil {
+					if whole[v] {
+						pass.Reportf(n.Pos(), "plain access of %s, which is accessed with sync/atomic elsewhere in this package", v.Name())
+						return false
+					}
+					if elem[v] {
+						// Element-atomic slice: the header may be handled
+						// plainly, elements may not. The IndexExpr case
+						// below sees x.f[i] first, so only flag here when
+						// this selector is itself the IndexExpr.X — handled
+						// by the parent; nothing to do for the bare header.
+						return true
+					}
+				}
+			case *ast.IndexExpr:
+				if sel, ok := n.X.(*ast.SelectorExpr); ok {
+					if v := fieldVar(info, sel); v != nil && elem[v] {
+						pass.Reportf(n.Pos(), "plain element access of %s, whose elements are accessed with sync/atomic elsewhere in this package", v.Name())
+						return false
+					}
+				}
+				if id, ok := n.X.(*ast.Ident); ok {
+					if v, _ := info.Uses[id].(*types.Var); v != nil && elem[v] {
+						pass.Reportf(n.Pos(), "plain element access of %s, whose elements are accessed with sync/atomic elsewhere in this package", v.Name())
+						return false
+					}
+				}
+			case *ast.Ident:
+				if v, _ := info.Uses[n].(*types.Var); v != nil && whole[v] && !v.IsField() {
+					pass.Reportf(n.Pos(), "plain access of %s, which is accessed with sync/atomic elsewhere in this package", v.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !atomicOps[sel.Sel.Name] {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// varOf resolves an addressable expression to the variable it denotes:
+// x.f -> field f, x -> local/package var x.
+func varOf(info *types.Info, e ast.Expr) *types.Var {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		return fieldVar(info, e)
+	case *ast.Ident:
+		v, _ := info.Uses[e].(*types.Var)
+		return v
+	case *ast.ParenExpr:
+		return varOf(info, e.X)
+	}
+	return nil
+}
+
+func fieldVar(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// markAll records every node under e as part of an atomic argument.
+func markAll(set map[ast.Node]bool, e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if n != nil {
+			set[n] = true
+		}
+		return true
+	})
+}

@@ -1,0 +1,124 @@
+package vet
+
+import (
+	"encoding/json"
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// MetricFamily is one statically extracted telemetry family registration.
+type MetricFamily struct {
+	Name   string   `json:"name"`
+	Kind   string   `json:"kind"` // counter, gauge, histogram
+	Help   string   `json:"help,omitempty"`
+	Labels []string `json:"labels,omitempty"`
+}
+
+// MetricCatalog is the machine-readable catalog metricnames emits: every
+// family registration found in the analyzed packages, deduplicated by name.
+type MetricCatalog struct {
+	families map[string]*MetricFamily
+}
+
+// NewMetricCatalog returns an empty catalog.
+func NewMetricCatalog() *MetricCatalog {
+	return &MetricCatalog{families: map[string]*MetricFamily{}}
+}
+
+// Add records one registration. Conflicting kinds for one name return an
+// error (the exposition would be incoherent).
+func (c *MetricCatalog) Add(name, kind, help string, labels []string) error {
+	if f, ok := c.families[name]; ok {
+		if f.Kind != kind {
+			return fmt.Errorf("family %s registered as both %s and %s", name, f.Kind, kind)
+		}
+		for _, l := range labels {
+			if !contains(f.Labels, l) {
+				f.Labels = append(f.Labels, l)
+				sort.Strings(f.Labels)
+			}
+		}
+		return nil
+	}
+	sorted := append([]string(nil), labels...)
+	sort.Strings(sorted)
+	c.families[name] = &MetricFamily{Name: name, Kind: kind, Help: help, Labels: sorted}
+	return nil
+}
+
+// Families returns the catalog sorted by name.
+func (c *MetricCatalog) Families() []MetricFamily {
+	out := make([]MetricFamily, 0, len(c.families))
+	for _, f := range c.families {
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// JSON renders the catalog for -catalog output.
+func (c *MetricCatalog) JSON() ([]byte, error) {
+	return json.MarshalIndent(c.Families(), "", "  ")
+}
+
+func contains(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// readmeToken matches a backtick-quoted token in README prose that names a
+// metric family: lowercase snake_case whose first segment is an approved
+// subsystem (the tagcorr_ prefix is optional — the catalog table factors
+// it out in its header).
+var readmeToken = regexp.MustCompile("`(tagcorr_)?([a-z][a-z0-9]*(?:_[a-z0-9]+)+)(?:\\{[^`]*\\})?`")
+
+// CrossCheckREADME compares the statically extracted catalog against the
+// README's metric documentation: every registered family must be mentioned
+// (with or without the tagcorr_ prefix), and every README token that looks
+// like a family must be registered. Unprefixed tokens count as family
+// claims only inside table rows (lines starting with "|" — the catalog
+// table factors the prefix into its header), so prose naming a JSON report
+// field like stage_latency does not false-positive; a tagcorr_-prefixed
+// token is a family claim anywhere. It returns one problem string per
+// drift, empty when the two agree.
+func CrossCheckREADME(readme []byte, families []MetricFamily) []string {
+	registered := map[string]bool{}
+	for _, f := range families {
+		registered[f.Name] = true
+	}
+	mentioned := map[string]bool{}
+	var problems []string
+	for _, line := range strings.Split(string(readme), "\n") {
+		inTable := strings.HasPrefix(strings.TrimSpace(line), "|")
+		for _, m := range readmeToken.FindAllStringSubmatch(line, -1) {
+			name := m[2]
+			full := "tagcorr_" + name
+			if m[1] == "tagcorr_" || registered[full] {
+				mentioned[full] = true
+				if !registered[full] {
+					problems = append(problems, fmt.Sprintf("README documents %s but no such family is registered", full))
+				}
+				continue
+			}
+			// Unprefixed token in a table row: treat it as a family claim
+			// when its first segment is a metric subsystem.
+			seg := name[:strings.IndexByte(name, '_')]
+			if inTable && metricSubsystems[seg] {
+				problems = append(problems, fmt.Sprintf("README documents %s but no such family is registered", full))
+			}
+		}
+	}
+	for _, f := range families {
+		if !mentioned[f.Name] {
+			problems = append(problems, fmt.Sprintf("registered family %s is not documented in README", f.Name))
+		}
+	}
+	sort.Strings(problems)
+	return problems
+}

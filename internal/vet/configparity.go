@@ -1,0 +1,182 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ConfigParity keeps the configuration surface honest:
+//
+//   - every field of a struct type named *Config that has a Validate
+//     method must be referenced inside that Validate (or carry a
+//     //vet:ok configparity allowlist line stating why any value is
+//     valid) — fields silently accepted with no validation are how NaN
+//     thresholds and negative windows slip into a running pipeline;
+//   - every command-line flag declared in a main package must actually be
+//     read somewhere: a flag that parses but never reaches a Config field
+//     (or any other consumer) is dead configuration surface. Binding to a
+//     nonexistent field is already a compile error, so parity reduces to
+//     liveness.
+var ConfigParity = &Analyzer{
+	Name: "configparity",
+	Doc:  "Config fields must be checked in Validate or allowlisted; declared flags must be consumed",
+	Run:  runConfigParity,
+}
+
+func runConfigParity(pass *Pass) {
+	checkConfigValidate(pass)
+	if pass.Pkg.Types.Name() == "main" {
+		checkFlagLiveness(pass)
+	}
+}
+
+func checkConfigValidate(pass *Pass) {
+	info := pass.Pkg.Info
+	scope := pass.Pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || !strings.HasSuffix(tn.Name(), "Config") {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		validate := findValidateDecl(pass, tn.Name())
+		if validate == nil {
+			continue
+		}
+		// Collect the field objects Validate's body references.
+		referenced := map[*types.Var]bool{}
+		ast.Inspect(validate.Body, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				if v := fieldVar(info, sel); v != nil {
+					referenced[v] = true
+				}
+			}
+			return true
+		})
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if referenced[f] {
+				continue
+			}
+			pass.Reportf(f.Pos(), "%s.%s is not checked in Validate; add a case or allowlist it with //vet:ok configparity -- <why any value is valid>", tn.Name(), f.Name())
+		}
+	}
+}
+
+// findValidateDecl returns the FuncDecl of <typeName>.Validate, if the
+// package declares one.
+func findValidateDecl(pass *Pass, typeName string) *ast.FuncDecl {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Validate" || fd.Recv == nil || len(fd.Recv.List) != 1 || fd.Body == nil {
+				continue
+			}
+			t := fd.Recv.List[0].Type
+			if star, ok := t.(*ast.StarExpr); ok {
+				t = star.X
+			}
+			if id, ok := t.(*ast.Ident); ok && id.Name == typeName {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// flagFuncs are the flag-package constructors that return a pointer bound
+// to a new flag.
+var flagFuncs = map[string]bool{
+	"Bool": true, "Duration": true, "Float64": true, "Int": true,
+	"Int64": true, "String": true, "Uint": true, "Uint64": true,
+}
+
+func checkFlagLiveness(pass *Pass) {
+	info := pass.Pkg.Info
+
+	// Collect flag variables: x := flag.Int("name", ...) / var x = flag...
+	type declared struct {
+		obj      types.Object
+		flagName string
+		at       ast.Node
+	}
+	var flags []declared
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !flagFuncs[sel.Sel.Name] || len(call.Args) < 1 {
+			return
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "flag" {
+			return
+		}
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			return
+		}
+		name := "?"
+		if lit, ok := call.Args[0].(*ast.BasicLit); ok {
+			if s, err := strconv.Unquote(lit.Value); err == nil {
+				name = s
+			}
+		}
+		flags = append(flags, declared{obj: obj, flagName: name, at: id})
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						record(n.Lhs[i], n.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == len(n.Values) {
+					for i := range n.Names {
+						record(n.Names[i], n.Values[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(flags) == 0 {
+		return
+	}
+
+	// A flag is live when any identifier outside its declaration uses it.
+	used := map[types.Object]bool{}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil {
+					used[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	for _, fl := range flags {
+		if !used[fl.obj] {
+			pass.Reportf(fl.at.Pos(), "flag -%s is parsed but its value is never read; bind it to a Config field or delete it", fl.flagName)
+		}
+	}
+}

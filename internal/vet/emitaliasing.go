@@ -1,0 +1,313 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// EmitAliasing flags writes through a value after it was passed to a storm
+// Emit/EmitDirect in the same function. The substrate's mailboxes retain
+// the tuple (and everything its payload references) until the receiving
+// task processes it — and the compactor may hold it longer — so mutating
+// an emitted payload races with the consumer. This is exactly the aliasing
+// class the PR 4 mailbox-compaction fix chased dynamically; here it is
+// checked statically.
+//
+// The analysis is per function and position-ordered: only writes after the
+// Emit call are flagged, so the ubiquitous build-then-emit pattern stays
+// clean. Tracked writes are the ones that can reach the emitted value —
+// element writes and appends through an emitted slice or value, and any
+// field/deref write through an emitted pointer (the boxed interface copy
+// shares the pointee). Rebinding a local (`v = other`) is not a write into
+// the emitted copy and is ignored.
+var EmitAliasing = &Analyzer{
+	Name: "emitaliasing",
+	Doc:  "writes to a value after it was passed to storm Emit/EmitDirect (the mailbox retains the payload)",
+	Run:  runEmitAliasing,
+}
+
+// trackMode says how much of a tracked variable aliases the emitted tuple.
+type trackMode int
+
+const (
+	// aliasDeep: the variable was emitted by value; only writes that
+	// traverse an index/deref (shared backing arrays, pointees) alias.
+	aliasDeep trackMode = iota
+	// aliasAll: the emitted tuple holds a pointer to (or into) the
+	// variable; every non-rebinding write through it aliases.
+	aliasAll
+)
+
+type emittedVar struct {
+	mode    trackMode
+	emitPos token.Pos
+}
+
+func runEmitAliasing(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkEmitAliasingScopes(pass, fd.Body)
+		}
+	}
+}
+
+// checkEmitAliasingScopes analyzes body as one function scope and recurses
+// into nested function literals as separate scopes, so a goroutine's writes
+// are never matched against the enclosing function's emits.
+func checkEmitAliasingScopes(pass *Pass, body *ast.BlockStmt) {
+	checkEmitAliasingBody(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			checkEmitAliasingScopes(pass, fl.Body)
+			return false
+		}
+		return true
+	})
+}
+
+func checkEmitAliasingBody(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+
+	// Pass 1: collect variables reachable from emitted tuples, skipping
+	// nested function literals (their own scopes).
+	tracked := map[*types.Var][]emittedVar{}
+	inspectScope(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		arg, ok := stormEmitTupleArg(info, call)
+		if !ok {
+			return
+		}
+		collectEmittedRoots(info, arg, false, func(v *types.Var, mode trackMode) {
+			tracked[v] = append(tracked[v], emittedVar{mode: mode, emitPos: call.Pos()})
+		})
+	})
+	if len(tracked) == 0 {
+		return
+	}
+
+	// Pass 2: flag aliasing writes after an emit of the same variable.
+	inspectScope(body, func(n ast.Node) {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				root, deep, plain := lhsRoot(lhs)
+				if root == nil || (plain && st.Tok == token.DEFINE) {
+					continue
+				}
+				reportAliasWrite(pass, tracked, root, deep, plain, "write")
+			}
+		case *ast.IncDecStmt:
+			root, deep, plain := lhsRoot(st.X)
+			if root != nil {
+				reportAliasWrite(pass, tracked, root, deep, plain, "write")
+			}
+		case *ast.CallExpr:
+			// append(x, ...) and append(x.f, ...) may write in place into
+			// the backing array the emitted value shares.
+			if id, ok := st.Fun.(*ast.Ident); ok && id.Name == "append" && len(st.Args) > 0 {
+				if _, isBuiltin := pass.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+					root, _, _ := lhsRoot(st.Args[0])
+					if root != nil {
+						reportAliasWrite(pass, tracked, root, true, false, "append")
+					}
+				}
+			}
+		}
+	})
+}
+
+func reportAliasWrite(pass *Pass, tracked map[*types.Var][]emittedVar, root *ast.Ident, deepWrite, plainRebind bool, what string) {
+	v, _ := pass.Pkg.Info.Uses[root].(*types.Var)
+	if v == nil {
+		return
+	}
+	for _, em := range tracked[v] {
+		if root.Pos() <= em.emitPos {
+			continue
+		}
+		switch em.mode {
+		case aliasDeep:
+			if !deepWrite {
+				continue
+			}
+		case aliasAll:
+			// Rebinding a pointer variable (p = other) does not touch the
+			// pointee the tuple holds; rebinding a value variable whose
+			// address was emitted writes the pointee itself and stays
+			// flagged.
+			if plainRebind && isPointer(v.Type()) {
+				continue
+			}
+		}
+		line := pass.Pkg.Fset.Position(em.emitPos).Line
+		pass.Reportf(root.Pos(), "%s through %q after it was passed to Emit on line %d; the mailbox retains the tuple payload — copy before emitting", what, root.Name, line)
+		return
+	}
+}
+
+// stormEmitTupleArg returns the tuple argument of a storm Collector
+// Emit/EmitDirect call, if call is one.
+func stormEmitTupleArg(info *types.Info, call *ast.CallExpr) (ast.Expr, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || !pkgHasSuffix(fn.Pkg().Path(), "internal/storm") {
+		return nil, false
+	}
+	switch fn.Name() {
+	case "Emit":
+		if len(call.Args) >= 1 {
+			return call.Args[0], true
+		}
+	case "EmitDirect":
+		if len(call.Args) >= 2 {
+			return call.Args[1], true
+		}
+	}
+	return nil, false
+}
+
+// collectEmittedRoots walks the emitted expression and reports every
+// variable the tuple can reach, with the alias mode that applies.
+func collectEmittedRoots(info *types.Info, e ast.Expr, addressed bool, emit func(*types.Var, trackMode)) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		v, ok := info.Uses[e].(*types.Var)
+		if !ok {
+			return
+		}
+		if addressed || isPointer(v.Type()) {
+			emit(v, aliasAll)
+		} else if hasReferenceSemantics(v.Type()) {
+			emit(v, aliasDeep)
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			// &v (or &v.f): the tuple holds a pointer into v.
+			root, _, _ := lhsRoot(e.X)
+			if root != nil {
+				if v, ok := info.Uses[root].(*types.Var); ok {
+					emit(v, aliasAll)
+					return
+				}
+			}
+			collectEmittedRoots(info, e.X, true, emit)
+			return
+		}
+		collectEmittedRoots(info, e.X, addressed, emit)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			collectEmittedRoots(info, el, false, emit)
+		}
+	case *ast.SelectorExpr:
+		// msg.Tags inside the payload: the root variable's referenced data
+		// is reachable from the tuple.
+		collectEmittedRoots(info, e.X, addressed, emit)
+	case *ast.ParenExpr:
+		collectEmittedRoots(info, e.X, addressed, emit)
+	case *ast.IndexExpr:
+		collectEmittedRoots(info, e.X, addressed, emit)
+	case *ast.SliceExpr:
+		collectEmittedRoots(info, e.X, addressed, emit)
+	case *ast.CallExpr, *ast.BasicLit, *ast.FuncLit:
+		// Freshly produced values (or constants): nothing aliased that the
+		// caller can still write through by name.
+	case *ast.StarExpr:
+		collectEmittedRoots(info, e.X, addressed, emit)
+	case *ast.BinaryExpr:
+		collectEmittedRoots(info, e.X, false, emit)
+		collectEmittedRoots(info, e.Y, false, emit)
+	case *ast.TypeAssertExpr:
+		collectEmittedRoots(info, e.X, addressed, emit)
+	}
+}
+
+// lhsRoot resolves an assignable expression to its root identifier,
+// reporting whether the path traverses an index/deref (a write through
+// shared backing memory) and whether it is the bare identifier.
+func lhsRoot(e ast.Expr) (root *ast.Ident, deep bool, plain bool) {
+	plain = true
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x, deep, plain
+		case *ast.SelectorExpr:
+			e = x.X
+			plain = false
+		case *ast.IndexExpr:
+			e = x.X
+			deep = true
+			plain = false
+		case *ast.SliceExpr:
+			e = x.X
+			deep = true
+			plain = false
+		case *ast.StarExpr:
+			e = x.X
+			deep = true
+			plain = false
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil, deep, false
+		}
+	}
+}
+
+// inspectScope walks body in source order without descending into nested
+// function literals.
+func inspectScope(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+func isPointer(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Pointer)
+	return ok
+}
+
+// hasReferenceSemantics reports whether values of t can share mutable
+// backing state with a copy of themselves: slices, maps, channels,
+// pointers, interfaces, or structs/arrays containing any of those.
+func hasReferenceSemantics(t types.Type) bool {
+	return hasRefSem(t, 0)
+}
+
+func hasRefSem(t types.Type, depth int) bool {
+	if depth > 10 {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Chan, *types.Pointer, *types.Interface, *types.Signature:
+		return true
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if hasRefSem(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return hasRefSem(u.Elem(), depth+1)
+	}
+	return false
+}

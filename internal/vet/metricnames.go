@@ -1,0 +1,184 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// MetricNames enforces the telemetry naming scheme PR 8 introduced: every
+// family registered on a telemetry.Registry must use a string-literal name
+// matching tagcorr_<subsystem>_<name>_<unit>, with an approved subsystem
+// and a unit suffix appropriate to the instrument kind (counters end in
+// _total, histograms in _seconds/_bytes, gauges in a known unit noun).
+// Literal names are what make the /metrics surface statically knowable:
+// the analyzer extracts every registration into the run's machine-readable
+// catalog (cmd/tagcorrvet -catalog), which the README cross-check and CI
+// promcheck lists build on.
+var MetricNames = &Analyzer{
+	Name: "metricnames",
+	Doc:  "telemetry family registrations: literal tagcorr_<subsystem>_<name>_<unit> names; extracts the catalog",
+	Run:  runMetricNames,
+}
+
+// metricSubsystems are the approved <subsystem> segments.
+var metricSubsystems = map[string]bool{
+	"storm":   true,
+	"dissem":  true,
+	"tracker": true,
+	"stage":   true,
+	"archive": true,
+	"trend":   true,
+	"http":    true,
+	"process": true,
+}
+
+// gaugeUnits are the approved trailing unit nouns for gauges. Counters must
+// end in _total; histograms in _seconds or _bytes.
+var gaugeUnits = map[string]bool{
+	"seconds":      true,
+	"bytes":        true,
+	"entries":      true,
+	"periods":      true,
+	"coefficients": true,
+	"tuples":       true,
+	"docs":         true,
+	"goroutines":   true,
+	"subscribers":  true,
+	"predictors":   true,
+	"ratio":        true,
+}
+
+// registryKinds maps telemetry.Registry registration methods to the
+// instrument kind they create.
+var registryKinds = map[string]string{
+	"Counter":     "counter",
+	"CounterFunc": "counter",
+	"GaugeFunc":   "gauge",
+	"Histogram":   "histogram",
+	"Observe":     "histogram",
+}
+
+var metricNameRE = regexp.MustCompile(`^tagcorr(_[a-z][a-z0-9]*)+$`)
+
+func runMetricNames(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			kind, ok := registryCall(info, call)
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			nameArg := call.Args[0]
+			lit, ok := nameArg.(*ast.BasicLit)
+			if !ok {
+				pass.Reportf(nameArg.Pos(), "telemetry family name must be a string literal (the catalog and promcheck lists are built statically)")
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			checkFamilyName(pass, nameArg, name, kind)
+
+			help := ""
+			if h, ok := call.Args[1].(*ast.BasicLit); ok {
+				if s, err := strconv.Unquote(h.Value); err == nil {
+					help = s
+				}
+			}
+			var labels []string
+			if len(call.Args) >= 3 {
+				labels = literalLabelKeys(call.Args[2])
+			}
+			if err := pass.Catalog.Add(name, kind, help, labels); err != nil {
+				pass.Reportf(nameArg.Pos(), "%v", err)
+			}
+			return true
+		})
+	}
+}
+
+// registryCall recognises a registration method call on a
+// telemetry.Registry and returns the instrument kind.
+func registryCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	kind, ok := registryKinds[sel.Sel.Name]
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || !pkgHasSuffix(fn.Pkg().Path(), "internal/telemetry") {
+		return "", false
+	}
+	if typeNameOfRecv(fn) != "Registry" {
+		return "", false
+	}
+	return kind, true
+}
+
+func checkFamilyName(pass *Pass, at ast.Expr, name, kind string) {
+	if !metricNameRE.MatchString(name) {
+		pass.Reportf(at.Pos(), "family %q does not match tagcorr_<subsystem>_<name>_<unit> (lowercase snake_case with the tagcorr_ prefix)", name)
+		return
+	}
+	segs := strings.Split(name, "_")[1:] // drop the tagcorr prefix
+	if len(segs) < 2 {
+		pass.Reportf(at.Pos(), "family %q needs at least a subsystem and a name segment", name)
+		return
+	}
+	if !metricSubsystems[segs[0]] {
+		pass.Reportf(at.Pos(), "family %q uses unknown subsystem %q (approved: storm dissem tracker stage archive trend http process)", name, segs[0])
+		return
+	}
+	last := segs[len(segs)-1]
+	switch kind {
+	case "counter":
+		if last != "total" {
+			pass.Reportf(at.Pos(), "counter family %q must end in _total", name)
+		}
+	case "histogram":
+		if last != "seconds" && last != "bytes" {
+			pass.Reportf(at.Pos(), "histogram family %q must end in a base unit (_seconds or _bytes)", name)
+		}
+	case "gauge":
+		if last == "total" {
+			pass.Reportf(at.Pos(), "gauge family %q must not end in _total (that suffix is reserved for counters)", name)
+		} else if !gaugeUnits[last] {
+			pass.Reportf(at.Pos(), "gauge family %q must end in an approved unit noun (seconds bytes entries periods coefficients tuples docs goroutines subscribers predictors ratio)", name)
+		}
+	}
+}
+
+// literalLabelKeys extracts the string-literal keys of a telemetry.Labels
+// composite literal ("nil" or dynamic labels yield none).
+func literalLabelKeys(e ast.Expr) []string {
+	cl, ok := e.(*ast.CompositeLit)
+	if !ok {
+		return nil
+	}
+	var keys []string
+	for _, el := range cl.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		lit, ok := kv.Key.(*ast.BasicLit)
+		if !ok {
+			continue
+		}
+		if s, err := strconv.Unquote(lit.Value); err == nil {
+			keys = append(keys, s)
+		}
+	}
+	return keys
+}

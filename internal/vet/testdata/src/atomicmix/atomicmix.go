@@ -1,0 +1,40 @@
+// Package atomicmix seeds mixed atomic/plain accesses of the same variable.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits int64
+	cold int64   // never touched atomically: plain access is fine
+	per  []int64 // elements are atomic, the header is not
+}
+
+func bump(c *counters, i int) {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.per[i], 1)
+}
+
+func snapshot(c *counters) int64 {
+	return c.hits // want `plain access of hits`
+}
+
+func perTask(c *counters, i int) int64 {
+	return c.per[i] // want `plain element access of per`
+}
+
+// resize replaces the slice header, which is not an element access.
+func resize(c *counters, n int) {
+	c.per = make([]int64, n)
+}
+
+func coldRead(c *counters) int64 {
+	return c.cold
+}
+
+var inflight int64
+
+func incInflight() { atomic.AddInt64(&inflight, 1) }
+
+func readInflight() int64 {
+	return inflight // want `plain access of inflight`
+}

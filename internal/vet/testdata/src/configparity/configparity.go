@@ -1,0 +1,36 @@
+// Command configparity seeds config-parity violations: a Config field
+// Validate never checks, an allowlisted field, and a dead flag.
+package main
+
+import (
+	"flag"
+	"fmt"
+)
+
+// ServeConfig drives the fixture server.
+type ServeConfig struct {
+	Port   int
+	Window int  // want `ServeConfig.Window is not checked in Validate`
+	Debug  bool //vet:ok configparity -- free toggle; both values are valid
+}
+
+// Validate checks Port but forgets Window.
+func (c ServeConfig) Validate() error {
+	if c.Port <= 0 {
+		return fmt.Errorf("port = %d", c.Port)
+	}
+	return nil
+}
+
+var (
+	port = flag.Int("port", 8080, "listen port")
+	dead = flag.String("mode", "fast", "tuning knob nothing reads") // want `flag -mode is parsed but its value is never read`
+)
+
+func main() {
+	flag.Parse()
+	cfg := ServeConfig{Port: *port}
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+}

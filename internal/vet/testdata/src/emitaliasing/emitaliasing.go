@@ -1,0 +1,57 @@
+// Package emitaliasing seeds violations for the emitaliasing analyzer:
+// writes through values after they were passed to storm Emit/EmitDirect.
+package emitaliasing
+
+import "repro/internal/storm"
+
+type msg struct {
+	Time int64
+	Tags []int
+}
+
+// mutateAfterEmitValue writes into a slice the emitted tuple still shares.
+func mutateAfterEmitValue(out storm.Collector) {
+	m := msg{Tags: make([]int, 4)}
+	out.Emit(storm.Tuple{Stream: "doc", Values: []interface{}{m}})
+	m.Tags[0] = 1 // want `write through "m" after it was passed to Emit`
+}
+
+// mutateAfterEmitPointer emits a pointer: every later write aliases.
+func mutateAfterEmitPointer(out storm.Collector) {
+	m := &msg{}
+	out.EmitDirect(3, storm.Tuple{Stream: "doc", Values: []interface{}{m}})
+	m.Tags = nil // want `write through "m" after it was passed to Emit`
+}
+
+// appendAfterEmit may write in place into the shared backing array.
+func appendAfterEmit(out storm.Collector) []int {
+	m := msg{Tags: make([]int, 0, 8)}
+	out.Emit(storm.Tuple{Stream: "doc", Values: []interface{}{m}})
+	m.Tags = append(m.Tags, 7) // want `append through "m" after it was passed to Emit`
+	return m.Tags
+}
+
+// mutateBeforeEmit is the sanctioned build-then-emit pattern.
+func mutateBeforeEmit(out storm.Collector) {
+	m := msg{Tags: make([]int, 4)}
+	m.Tags[0] = 1
+	m.Time = 42
+	out.Emit(storm.Tuple{Stream: "doc", Values: []interface{}{m}})
+}
+
+// rebindAfterEmit only rebinds the local; the emitted copy is unaffected.
+func rebindAfterEmit(out storm.Collector) msg {
+	m := msg{Tags: make([]int, 4)}
+	out.Emit(storm.Tuple{Stream: "doc", Values: []interface{}{m}})
+	m = msg{}
+	return m
+}
+
+// scalarFieldAfterEmit writes a scalar field of a by-value payload: the
+// boxed copy in the tuple does not see it.
+func scalarFieldAfterEmit(out storm.Collector) msg {
+	m := msg{Tags: make([]int, 4)}
+	out.Emit(storm.Tuple{Stream: "doc", Values: []interface{}{m}})
+	m.Time = 7
+	return m
+}

@@ -1,0 +1,26 @@
+// Package metricnames seeds violations of the telemetry naming scheme
+// (tagcorr_<subsystem>_<name>_<unit> with kind-appropriate unit suffixes).
+package metricnames
+
+import "repro/internal/telemetry"
+
+func register(reg *telemetry.Registry, dynamic string) {
+	// Clean registrations in all three kinds.
+	reg.CounterFunc("tagcorr_storm_tuples_emitted_total",
+		"Tuples emitted by each topology component.",
+		telemetry.Labels{"component": "parser"}, func() int64 { return 0 })
+	reg.GaugeFunc("tagcorr_tracker_heap_entries",
+		"Entries held in the shard heaps.",
+		nil, func() float64 { return 0 })
+	reg.Observe("tagcorr_stage_doc_partition_seconds",
+		"Ingest-to-partition latency.",
+		nil, telemetry.NewHistogram())
+
+	reg.Counter("badprefix_total", "no tagcorr prefix.", nil)                                           // want `does not match tagcorr_`
+	reg.CounterFunc("tagcorr_widget_ops_total", "bad subsystem.", nil, func() int64 { return 0 })       // want `unknown subsystem "widget"`
+	reg.CounterFunc("tagcorr_storm_tuples_dropped", "missing unit.", nil, func() int64 { return 0 })    // want `must end in _total`
+	reg.GaugeFunc("tagcorr_trend_backlog_total", "gauge as counter.", nil, func() float64 { return 0 }) // want `must not end in _total`
+	reg.GaugeFunc("tagcorr_storm_mailbox_depth", "unit-less gauge.", nil, func() float64 { return 0 })  // want `must end in an approved unit noun`
+	reg.Observe("tagcorr_stage_doc_partition_millis", "non-base unit.", nil, telemetry.NewHistogram())  // want `must end in a base unit`
+	reg.Counter(dynamic, "dynamic name.", nil)                                                          // want `must be a string literal`
+}
