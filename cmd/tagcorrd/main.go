@@ -37,6 +37,16 @@
 // logs are structured log/slog records on stderr, shaped by -log-format
 // (text or json) and filtered by -log-level.
 //
+// A flight recorder rides along: a ring of recent operational events
+// (repartitions with cause, checkpoint begin/end, compaction passes,
+// retention prunes, spout-throttle saturation, archive errors), sampled
+// end-to-end span traces for every -trace-sample-th document plus the
+// slowest documents over -trace-slow-ms per window, and a stall watchdog
+// whose verdict reaches /healthz, /readyz and the tagcorr_watchdog_*
+// gauges. GET /debug/events, /debug/traces and /debug/traces/{id} expose
+// the recorder; SIGQUIT dumps it through the log without stopping the
+// daemon; -log-requests adds per-request debug logs.
+//
 // On SIGINT/SIGTERM the daemon drains gracefully: a checkpoint is written
 // (so even a killed drain stays recoverable), the source stops, the
 // in-flight tuples flush, a final snapshot and end-of-run checkpoint are
@@ -59,10 +69,12 @@ import (
 
 	"repro/internal/archive"
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/partition"
 	"repro/internal/server"
 	"repro/internal/stream"
 	"repro/internal/tagset"
+	"repro/internal/telemetry"
 	"repro/internal/twitgen"
 )
 
@@ -101,6 +113,11 @@ func main() {
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty: off)")
 		logFormat = flag.String("log-format", "text", "log output format: text or json")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+
+		traceSample  = flag.Int("trace-sample", 256, "flight recorder: trace every Nth document end to end (0: tracing off)")
+		traceSlowMS  = flag.Int64("trace-slow-ms", 250, "flight recorder: also retain the slowest documents over this latency, per window")
+		flightEvents = flag.Int("flight-events", 1024, "flight recorder: operational event ring capacity (rounded up to a power of two)")
+		logRequests  = flag.Bool("log-requests", false, "log every HTTP request (route, status, latency) at debug level")
 	)
 	flag.Parse()
 
@@ -154,6 +171,17 @@ func main() {
 	cfg.TrendTopK = *trendTopK
 	cfg.TrendMinSupport = *trendMinCN
 	cfg.TrendThreshold = *trendThr
+
+	// The flight recorder is always built: the event ring and watchdog
+	// cost almost nothing at steady state, and sampled tracing touches one
+	// document in -trace-sample. -trace-sample 0 turns tracing off while
+	// keeping the operational event ring.
+	frec := flight.NewRecorder(flight.Config{
+		Sample: *traceSample,
+		SlowMS: *traceSlowMS,
+		Events: *flightEvents,
+	})
+	cfg.Flight = frec
 
 	// Crash recovery: with -archive-dir, load the newest valid checkpoint
 	// (CRC-verified; a torn newest file falls back to its predecessor),
@@ -211,7 +239,13 @@ func main() {
 		fatal("adopting recovered state failed", "err", err)
 	}
 	h := pipe.Start()
-	scfg := server.Config{TopK: *topk, Refresh: *refresh}
+	scfg := server.Config{
+		TopK:        *topk,
+		Refresh:     *refresh,
+		Flight:      frec,
+		LogRequests: *logRequests,
+		Logger:      logger,
+	}
 	if *archiveDir != "" {
 		scfg.History = archive.OpenReader(*archiveDir)
 	}
@@ -223,6 +257,18 @@ func main() {
 			"algorithm", string(cfg.Algorithm), "k", cfg.K, "p", cfg.P, "thr", cfg.Thr)
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fatal("http server failed", "err", err)
+		}
+	}()
+
+	// SIGQUIT dumps the flight recorder — watchdog verdict, counters, the
+	// operational event ring, retained trace summaries — through slog and
+	// keeps the daemon running. Catching the signal replaces the runtime's
+	// default goroutine-dump-and-exit; use the pprof listener for stacks.
+	sigq := make(chan os.Signal, 1)
+	signal.Notify(sigq, syscall.SIGQUIT)
+	go func() {
+		for range sigq {
+			dumpFlight(frec, srv)
 		}
 	}()
 
@@ -269,6 +315,28 @@ func main() {
 	// a complete run.
 	if err := srcErr(); err != nil {
 		fatal("input stream truncated", "err", err)
+	}
+}
+
+// dumpFlight logs the flight recorder's full state: the watchdog verdict,
+// the trace counters, every event still in the ring and the retained trace
+// summaries. Invoked on SIGQUIT; the daemon keeps running afterwards.
+func dumpFlight(rec *flight.Recorder, srv *server.Server) {
+	st := rec.Snapshot()
+	slog.Info("flight recorder dump",
+		"verdict", srv.Watchdog().Verdict(),
+		"docs_seen", st.DocsSeen, "traces_started", st.TracesStarted,
+		"retained_sample", st.KeptSample, "retained_slow", st.KeptSlow,
+		"discarded", st.Discarded, "active", st.Active, "retained", st.Retained,
+		"events", st.EventsRecorded)
+	for _, e := range rec.Events() {
+		slog.Info("flight event", "seq", e.Seq, "kind", e.Kind,
+			"at", telemetry.Wall(e.At).Format(time.RFC3339Nano), "msg", e.Msg)
+	}
+	for _, t := range rec.Traces(32) {
+		slog.Info("flight trace", "id", t.ID, "sampled", t.Sampled,
+			"retained", t.Retained, "complete", t.Complete,
+			"spans", t.Spans, "duration_us", t.DurationUS)
 	}
 }
 

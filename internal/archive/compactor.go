@@ -240,11 +240,21 @@ type Compactor struct {
 	// durHist, when set (SetDurationHist, before Start), records the
 	// wall-clock duration of every maintenance pass.
 	durHist *telemetry.Histogram
+
+	// passHook, when set (SetPassHook, before Start), is called after
+	// every maintenance pass with the post-pass stats and the pass error.
+	// It runs on the compactor goroutine outside the stats lock.
+	passHook func(CompactorStats, error)
 }
 
 // SetDurationHist wires a histogram recording each maintenance pass's
 // duration. Call before Start.
 func (c *Compactor) SetDurationHist(h *telemetry.Histogram) { c.durHist = h }
+
+// SetPassHook wires a callback observing every maintenance pass (the
+// flight recorder turns passes that compacted or aged out history into
+// events). Call before Start.
+func (c *Compactor) SetPassHook(f func(CompactorStats, error)) { c.passHook = f }
 
 // NewCompactor returns a Compactor over dir; Start launches the loop.
 func NewCompactor(dir string, cfg CompactorConfig) *Compactor {
@@ -304,9 +314,12 @@ func (c *Compactor) run() {
 // compaction of every full fan-in run of sealed raw periods, then budget
 // enforcement (a final short-run compaction if needed, and age-out of the
 // oldest compacted files until the directory fits).
-func (c *Compactor) RunOnce() error {
+func (c *Compactor) RunOnce() (err error) {
 	c.runMu.Lock()
 	defer c.runMu.Unlock()
+	if c.passHook != nil {
+		defer func() { c.passHook(c.Stats(), err) }()
+	}
 	if c.durHist != nil {
 		start := time.Now()
 		defer func() { c.durHist.Record(time.Since(start)) }()

@@ -7,8 +7,10 @@ import (
 	"time"
 
 	"repro/internal/archive"
+	"repro/internal/flight"
 	"repro/internal/stream"
 	"repro/internal/tagset"
+	"repro/internal/telemetry"
 )
 
 // This file wires the archive subsystem (internal/archive) into the
@@ -231,11 +233,14 @@ func (p *Pipeline) ckptLoop() {
 			// write of an enqueued snapshot (or a newer one).
 			cp = p.buildCheckpointTimed()
 		}
+		p.cfg.Flight.RecordEvent(flight.EventCheckpointBegin,
+			fmt.Sprintf("replay_period=%d docs_fed=%d", cp.ReplayPeriod, cp.DocsFed))
 		wstart := time.Now()
 		err := p.arch.WriteCheckpoint(cp)
 		p.ckptWriteHist.Record(time.Since(wstart))
 		p.ckptWriteNS.Add(time.Since(start).Nanoseconds())
 		p.ckptCount.Add(1)
+		p.noteCheckpointDone(err, time.Since(wstart))
 		if err != nil {
 			p.archMu.Lock()
 			if p.archErr == nil {
@@ -287,11 +292,14 @@ func (p *Pipeline) Checkpoint() error {
 		// The writer goroutine is gone (the run drained). Write directly:
 		// during shutdown this still succeeds; after the archive closed it
 		// returns the writer-closed error, as it always has.
+		p.cfg.Flight.RecordEvent(flight.EventCheckpointBegin,
+			fmt.Sprintf("replay_period=%d docs_fed=%d (direct)", cp.ReplayPeriod, cp.DocsFed))
 		start := time.Now()
 		err := p.arch.WriteCheckpoint(cp)
 		p.ckptWriteHist.Record(time.Since(start))
 		p.ckptWriteNS.Add(time.Since(start).Nanoseconds())
 		p.ckptCount.Add(1)
+		p.noteCheckpointDone(err, time.Since(start))
 		return err
 	}
 	p.ckptSeq++
@@ -304,6 +312,20 @@ func (p *Pipeline) Checkpoint() error {
 	err := p.ckptErr
 	p.ckptMu.Unlock()
 	return err
+}
+
+// noteCheckpointDone records the end of one checkpoint write: the
+// checkpoint_end flight event (with the error, if any), the freshness
+// stamp the watchdog's checkpoint-overdue probe reads, and — on error —
+// an archive_error event marking the latch.
+func (p *Pipeline) noteCheckpointDone(err error, took time.Duration) {
+	p.lastCkptNS.Store(telemetry.Now())
+	if err != nil {
+		p.cfg.Flight.RecordEvent(flight.EventCheckpointEnd, "failed after "+took.String()+": "+err.Error())
+		p.cfg.Flight.RecordEvent(flight.EventArchiveError, "checkpoint write: "+err.Error())
+		return
+	}
+	p.cfg.Flight.RecordEvent(flight.EventCheckpointEnd, "written in "+took.String())
 }
 
 // CheckpointStats reports how many checkpoints the pipeline has completed

@@ -16,8 +16,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/archive"
+	"repro/internal/flight"
 	"repro/internal/jaccard"
 	"repro/internal/operators"
 	"repro/internal/partition"
@@ -132,6 +134,11 @@ type Pipeline struct {
 	ckptStallNS atomic.Int64
 	ckptWriteNS atomic.Int64
 
+	// lastCkptNS is the telemetry.Now stamp of the most recent completed
+	// checkpoint write (0: none yet). The watchdog's checkpoint-overdue
+	// probe reads it through LastCheckpointAge.
+	lastCkptNS atomic.Int64
+
 	// stages holds the end-to-end stage-latency histograms every pipeline
 	// maintains (doc→partition, doc→coefficient, doc→tracker-accept);
 	// always non-nil after NewPipeline, shared with cfg.Stages when the
@@ -184,7 +191,9 @@ func NewPipeline(cfg Config, src DocumentSource) (*Pipeline, error) {
 
 	b := storm.NewBuilder()
 	b.Spout("source", func() storm.Spout {
-		return operators.NewSource(src)
+		s := operators.NewSource(src)
+		s.SetFlight(cfg.Flight)
+		return s
 	}, 1)
 
 	b.Bolt("parser", func() storm.Bolt {
@@ -237,6 +246,7 @@ func NewPipeline(cfg Config, src DocumentSource) (*Pipeline, error) {
 			p.tracker = operators.NewTrackerWith(cfg.TrackerShards, cfg.TrackerTopK, cfg.EvictedPairs)
 			p.tracker.SetRetention(cfg.KeepPeriods)
 			p.tracker.SetStages(cfg.Stages)
+			p.tracker.SetFlight(cfg.Flight)
 			if cfg.Trend {
 				p.tracker.EnableTrendEmit()
 			}
@@ -262,7 +272,9 @@ func NewPipeline(cfg Config, src DocumentSource) (*Pipeline, error) {
 			tasks = 1
 		}
 		b.Bolt("trend", func() storm.Bolt {
-			return operators.NewTrend(det)
+			tb := operators.NewTrend(det)
+			tb.SetFlight(cfg.Flight)
+			return tb
 		}, tasks).Fields("tracker", operators.TrendKey)
 	}
 
@@ -272,6 +284,21 @@ func NewPipeline(cfg Config, src DocumentSource) (*Pipeline, error) {
 	}
 	if cfg.SpoutPending > 0 {
 		topo.SetMaxSpoutPending(cfg.SpoutPending)
+	}
+	if cfg.Flight != nil {
+		// Every spout park increments the storm counter; the flight event
+		// is rate-limited to one per second so a saturated run does not
+		// flood the ring with identical entries.
+		var lastSat atomic.Int64
+		rec := cfg.Flight
+		topo.SetThrottleHook(func() {
+			now := telemetry.Now()
+			last := lastSat.Load()
+			if now-last >= int64(time.Second) && lastSat.CompareAndSwap(last, now) {
+				rec.RecordEvent(flight.EventThrottleSaturated,
+					fmt.Sprintf("spout parked at max-spout-pending=%d", topo.MaxSpoutPending()))
+			}
+		})
 	}
 	p.topo = topo
 
@@ -286,6 +313,27 @@ func NewPipeline(cfg Config, src DocumentSource) (*Pipeline, error) {
 			SafeBelow:   p.archiveSafeBelow,
 		})
 		p.compactor.SetDurationHist(p.compactHist)
+		if cfg.Flight != nil {
+			rec := cfg.Flight
+			var prev archive.CompactorStats
+			var prevMu sync.Mutex
+			p.compactor.SetPassHook(func(st archive.CompactorStats, err error) {
+				prevMu.Lock()
+				compacted := st.Compactions - prev.Compactions
+				aged := st.AgedOutPeriods - prev.AgedOutPeriods
+				prev = st
+				prevMu.Unlock()
+				if err != nil {
+					rec.RecordEvent(flight.EventArchiveError, "compactor pass: "+err.Error())
+					return
+				}
+				if compacted > 0 || aged > 0 {
+					rec.RecordEvent(flight.EventCompaction, fmt.Sprintf(
+						"pass wrote %d compacted files, aged out %d periods, dir=%dB",
+						compacted, aged, st.DirBytes))
+				}
+			})
+		}
 		p.compactor.Start()
 	}
 	return p, nil
@@ -402,6 +450,29 @@ func (p *Pipeline) collect(st *storm.Stats) *Result {
 	r.Communication = agg.Communication()
 	r.LoadGini = agg.LoadGini()
 	return r
+}
+
+// Flight returns the pipeline's flight recorder (nil when none was
+// configured).
+func (p *Pipeline) Flight() *flight.Recorder { return p.cfg.Flight }
+
+// Archiving reports whether the durability subsystem is active.
+func (p *Pipeline) Archiving() bool { return p.arch != nil }
+
+// LastCheckpointAge returns how long ago the last checkpoint write
+// completed; ok is false if none has completed yet.
+func (p *Pipeline) LastCheckpointAge() (age time.Duration, ok bool) {
+	stamp := p.lastCkptNS.Load()
+	if stamp == 0 {
+		return 0, false
+	}
+	return telemetry.Since(stamp), true
+}
+
+// ThrottleSaturations returns how many times the spout hit the
+// max-spout-pending cap and parked (concurrent executor only).
+func (p *Pipeline) ThrottleSaturations() int64 {
+	return p.topo.Stats().ThrottleSaturations()
 }
 
 // Merger exposes the merger bolt (current partitions after a run).

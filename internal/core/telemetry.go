@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/flight"
 	"repro/internal/operators"
 	"repro/internal/telemetry"
 )
@@ -24,6 +25,7 @@ func (p *Pipeline) RegisterMetrics(reg *telemetry.Registry) {
 	p.registerTrackerMetrics(reg)
 	p.registerStageMetrics(reg)
 	p.registerArchiveMetrics(reg)
+	p.registerFlightMetrics(reg)
 	if p.trends != nil {
 		p.registerTrendMetrics(reg)
 	}
@@ -204,6 +206,44 @@ func (p *Pipeline) registerArchiveMetrics(reg *telemetry.Registry) {
 	reg.GaugeFunc("tagcorr_archive_dir_bytes",
 		"Archive directory size after the compactor's last pass.",
 		nil, func() float64 { return float64(p.CompactorStats().DirBytes) })
+}
+
+// registerFlightMetrics exports the flight recorder's counters. Like the
+// archive families, they are registered even when no recorder is
+// configured (every accessor is nil-safe and reads zero), so the scrape
+// surface stays identical across configurations.
+func (p *Pipeline) registerFlightMetrics(reg *telemetry.Registry) {
+	rec := p.cfg.Flight
+	for _, kind := range flight.EventKinds {
+		kind := kind
+		reg.CounterFunc("tagcorr_flight_events_total",
+			"Operational events recorded into the flight ring, by kind.",
+			telemetry.Labels{"kind": kind}, func() int64 { return rec.EventCount(kind) })
+	}
+	reg.CounterFunc("tagcorr_flight_traces_started_total",
+		"Documents granted a provisional span trace at the spout.",
+		nil, func() int64 { return rec.Snapshot().TracesStarted })
+	for _, reason := range []string{"sample", "slow"} {
+		reason := reason
+		reg.CounterFunc("tagcorr_flight_traces_retained_total",
+			"Finalized traces retained, by reason (deterministic head sample vs tail-based slowest-K).",
+			telemetry.Labels{"reason": reason}, func() int64 {
+				s := rec.Snapshot()
+				if reason == "sample" {
+					return s.KeptSample
+				}
+				return s.KeptSlow
+			})
+	}
+	reg.CounterFunc("tagcorr_flight_traces_discarded_total",
+		"Finalized traces discarded (neither head-sampled nor among the window's slowest).",
+		nil, func() int64 { return rec.Snapshot().Discarded })
+	reg.GaugeFunc("tagcorr_flight_active_traces",
+		"Provisional traces currently awaiting finalization.",
+		nil, func() float64 { return float64(rec.Snapshot().Active) })
+	reg.GaugeFunc("tagcorr_flight_retained_traces",
+		"Finalized traces currently held for /debug/traces.",
+		nil, func() float64 { return float64(rec.Snapshot().Retained) })
 }
 
 func (p *Pipeline) registerTrendMetrics(reg *telemetry.Registry) {

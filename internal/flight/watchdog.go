@@ -1,0 +1,195 @@
+package flight
+
+import (
+	"log/slog"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Check is one stall probe. Probe is called on every watchdog tick and
+// returns whether the condition currently looks stalled plus a short
+// human-readable detail. Probes must be cheap and safe to call
+// concurrently with the pipeline; they read existing counters, never
+// take pipeline locks for long.
+type Check struct {
+	Name  string
+	Probe func() (stalled bool, detail string)
+}
+
+// Watchdog periodically evaluates stall checks and turns transitions
+// into flight events, slog lines and gauges. A check that flips to
+// stalled records one EventWatchdog event and one warning; recovery
+// records an info line. Steady state is silent — the current verdict is
+// always readable via Verdict / Stalled.
+type Watchdog struct {
+	rec      *Recorder
+	log      *slog.Logger
+	interval time.Duration
+	checks   []Check
+
+	state  []atomic.Bool  // current stalled verdict per check
+	stalls []atomic.Int64 // ok->stalled transitions per check
+	detail []atomic.Pointer[string]
+	ticks  atomic.Int64
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewWatchdog builds a watchdog over the given checks. rec may be nil
+// (verdicts then only reach slog and the gauges); log nil means
+// slog.Default.
+func NewWatchdog(rec *Recorder, log *slog.Logger, interval time.Duration, checks ...Check) *Watchdog {
+	if log == nil {
+		log = slog.Default()
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	w := &Watchdog{
+		rec:      rec,
+		log:      log,
+		interval: interval,
+		checks:   checks,
+		state:    make([]atomic.Bool, len(checks)),
+		stalls:   make([]atomic.Int64, len(checks)),
+		detail:   make([]atomic.Pointer[string], len(checks)),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	return w
+}
+
+// Start launches the tick loop. Safe to call once; Close stops it.
+func (w *Watchdog) Start() {
+	if w == nil {
+		return
+	}
+	w.startOnce.Do(func() {
+		go func() {
+			defer close(w.done)
+			tick := time.NewTicker(w.interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-w.stop:
+					return
+				case <-tick.C:
+					w.Tick()
+				}
+			}
+		}()
+	})
+}
+
+// Close stops the tick loop and waits for it to exit. Safe to call
+// multiple times and before Start.
+func (w *Watchdog) Close() {
+	if w == nil {
+		return
+	}
+	w.stopOnce.Do(func() { close(w.stop) })
+	w.startOnce.Do(func() { close(w.done) }) // never started: nothing to wait for
+	<-w.done
+}
+
+// Tick evaluates every check once. Exported so tests and the SIGQUIT
+// dump can force an evaluation without waiting out the interval.
+func (w *Watchdog) Tick() {
+	if w == nil {
+		return
+	}
+	w.ticks.Add(1)
+	for i := range w.checks {
+		c := &w.checks[i]
+		stalled, detail := c.Probe()
+		prev := w.state[i].Swap(stalled)
+		if stalled {
+			d := detail
+			w.detail[i].Store(&d)
+		}
+		if stalled == prev {
+			continue
+		}
+		if stalled {
+			w.stalls[i].Add(1)
+			w.rec.RecordEvent(EventWatchdog, c.Name+" stalled: "+detail)
+			w.log.Warn("watchdog stall verdict", "check", c.Name, "detail", detail)
+		} else {
+			w.rec.RecordEvent(EventWatchdog, c.Name+" recovered")
+			w.log.Info("watchdog stall cleared", "check", c.Name)
+		}
+	}
+}
+
+// Names returns the configured check names in order.
+func (w *Watchdog) Names() []string {
+	if w == nil {
+		return nil
+	}
+	out := make([]string, len(w.checks))
+	for i := range w.checks {
+		out[i] = w.checks[i].Name
+	}
+	return out
+}
+
+// Stalled reports the current verdict for one check by name.
+func (w *Watchdog) Stalled(name string) bool {
+	if w == nil {
+		return false
+	}
+	for i := range w.checks {
+		if w.checks[i].Name == name {
+			return w.state[i].Load()
+		}
+	}
+	return false
+}
+
+// Stalls returns ok->stalled transitions for one check by name.
+func (w *Watchdog) Stalls(name string) int64 {
+	if w == nil {
+		return 0
+	}
+	for i := range w.checks {
+		if w.checks[i].Name == name {
+			return w.stalls[i].Load()
+		}
+	}
+	return 0
+}
+
+// Ticks returns the number of completed evaluations.
+func (w *Watchdog) Ticks() int64 {
+	if w == nil {
+		return 0
+	}
+	return w.ticks.Load()
+}
+
+// Verdict summarizes the current state: "ok", or "stalled: a, b" listing
+// every currently stalled check with its last detail.
+func (w *Watchdog) Verdict() string {
+	if w == nil {
+		return "ok"
+	}
+	var parts []string
+	for i := range w.checks {
+		if w.state[i].Load() {
+			s := w.checks[i].Name
+			if d := w.detail[i].Load(); d != nil && *d != "" {
+				s += " (" + *d + ")"
+			}
+			parts = append(parts, s)
+		}
+	}
+	if len(parts) == 0 {
+		return "ok"
+	}
+	return "stalled: " + strings.Join(parts, ", ")
+}

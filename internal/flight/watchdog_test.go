@@ -1,0 +1,133 @@
+package flight
+
+import (
+	"io"
+	"log/slog"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// TestWatchdogFaultInjection drives a watchdog through an injected stall:
+// the probe flips to stalled, the verdict and per-check gauge state
+// follow, exactly one flight event and one transition count are recorded,
+// and recovery clears everything with a second event.
+func TestWatchdogFaultInjection(t *testing.T) {
+	rec := NewRecorder(Config{})
+	var wedged atomic.Bool
+	w := NewWatchdog(rec, quietLogger(), time.Second, Check{
+		Name: "consumer_wedged",
+		Probe: func() (bool, string) {
+			if wedged.Load() {
+				return true, "mailbox pinned at capacity"
+			}
+			return false, ""
+		},
+	})
+
+	w.Tick()
+	if v := w.Verdict(); v != "ok" {
+		t.Fatalf("healthy verdict = %q, want ok", v)
+	}
+	if w.Stalled("consumer_wedged") || w.Stalls("consumer_wedged") != 0 {
+		t.Fatal("stall state set before the fault")
+	}
+
+	wedged.Store(true)
+	w.Tick()
+	w.Tick() // steady stalled state: no second event, no second transition
+	if !w.Stalled("consumer_wedged") {
+		t.Error("gauge state not stalled after the fault")
+	}
+	if got := w.Stalls("consumer_wedged"); got != 1 {
+		t.Errorf("stall transitions = %d, want 1 (steady state must not re-count)", got)
+	}
+	if v := w.Verdict(); v != "stalled: consumer_wedged (mailbox pinned at capacity)" {
+		t.Errorf("verdict = %q", v)
+	}
+	if got := rec.EventCount(EventWatchdog); got != 1 {
+		t.Errorf("watchdog events = %d, want 1", got)
+	}
+
+	wedged.Store(false)
+	w.Tick()
+	if w.Stalled("consumer_wedged") {
+		t.Error("gauge state still stalled after recovery")
+	}
+	if v := w.Verdict(); v != "ok" {
+		t.Errorf("verdict after recovery = %q, want ok", v)
+	}
+	if got := rec.EventCount(EventWatchdog); got != 2 {
+		t.Errorf("watchdog events = %d, want 2 (stall + recovery)", got)
+	}
+	evs := rec.Events()
+	if len(evs) != 2 {
+		t.Fatalf("ring holds %d events, want 2", len(evs))
+	}
+	if evs[0].Msg != "consumer_wedged stalled: mailbox pinned at capacity" {
+		t.Errorf("stall event msg = %q", evs[0].Msg)
+	}
+	if evs[1].Msg != "consumer_wedged recovered" {
+		t.Errorf("recovery event msg = %q", evs[1].Msg)
+	}
+	if got := w.Ticks(); got != 4 {
+		t.Errorf("ticks = %d, want 4", got)
+	}
+}
+
+// TestWatchdogMultipleChecks: the verdict lists every stalled check.
+func TestWatchdogMultipleChecks(t *testing.T) {
+	var a, b atomic.Bool
+	w := NewWatchdog(nil, quietLogger(), time.Second,
+		Check{Name: "alpha", Probe: func() (bool, string) { return a.Load(), "a-detail" }},
+		Check{Name: "beta", Probe: func() (bool, string) { return b.Load(), "" }},
+	)
+	a.Store(true)
+	b.Store(true)
+	w.Tick()
+	if v := w.Verdict(); v != "stalled: alpha (a-detail), beta" {
+		t.Errorf("verdict = %q", v)
+	}
+	if got := w.Names(); len(got) != 2 || got[0] != "alpha" || got[1] != "beta" {
+		t.Errorf("names = %v", got)
+	}
+	b.Store(false)
+	w.Tick()
+	if v := w.Verdict(); v != "stalled: alpha (a-detail)" {
+		t.Errorf("verdict = %q", v)
+	}
+}
+
+// TestWatchdogStartClose: the background loop ticks on its own and Close
+// is idempotent, including before Start.
+func TestWatchdogStartClose(t *testing.T) {
+	w := NewWatchdog(nil, quietLogger(), time.Millisecond,
+		Check{Name: "noop", Probe: func() (bool, string) { return false, "" }})
+	w.Start()
+	deadline := time.After(5 * time.Second)
+	for w.Ticks() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("no tick within 5s at 1ms interval")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	w.Close()
+	w.Close() // idempotent
+
+	unstarted := NewWatchdog(nil, quietLogger(), time.Millisecond)
+	unstarted.Close() // must not hang
+
+	var nilDog *Watchdog
+	nilDog.Start()
+	nilDog.Tick()
+	nilDog.Close()
+	if v := nilDog.Verdict(); v != "ok" {
+		t.Errorf("nil watchdog verdict = %q, want ok", v)
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/archive"
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/procstat"
 	"repro/internal/server"
 	"repro/internal/stream"
@@ -208,13 +209,19 @@ func runLocal(s Suite, opt Options, workers int) (*Report, error) {
 		cfg.CheckpointEvery = 2
 	}
 
+	// The load harness runs with the flight recorder on, like the daemon:
+	// sampled traces and the watchdog exercise the same code paths CI
+	// scrapes via /debug/traces during the smoke run.
+	frec := flight.NewRecorder(flight.Config{Sample: 64})
+	cfg.Flight = frec
+
 	pipe, err := core.NewPipeline(cfg, src)
 	if err != nil {
 		return nil, fmt.Errorf("load: suite %s: %w", s.Name, err)
 	}
 	start := time.Now()
 	h := pipe.Start()
-	scfg := server.Config{TopK: 100, Refresh: 100 * time.Millisecond}
+	scfg := server.Config{TopK: 100, Refresh: 100 * time.Millisecond, Flight: frec}
 	if archDir != "" {
 		scfg.History = archive.OpenReader(archDir)
 	}

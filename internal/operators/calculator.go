@@ -1,6 +1,7 @@
 package operators
 
 import (
+	"repro/internal/flight"
 	"repro/internal/jaccard"
 	"repro/internal/storm"
 	"repro/internal/stream"
@@ -66,6 +67,7 @@ func (c *Calculator) Execute(t storm.Tuple, out storm.Collector) {
 }
 
 func (c *Calculator) observe(msg NotifyMsg, out storm.Collector) {
+	start := telemetry.Now()
 	if !c.hasData {
 		c.boundary = alignUp(msg.Time, c.cfg.ReportEvery)
 		c.hasData = true
@@ -75,7 +77,7 @@ func (c *Calculator) observe(msg NotifyMsg, out storm.Collector) {
 		// period containing msg.Time: a sparse live stream or a replay with
 		// a large timestamp gap must not pay one no-op flush per empty
 		// period in between.
-		c.flush(out, msg.Ingest)
+		c.flush(out, msg.Ingest, msg.Trace)
 		c.boundary = alignUp(msg.Time, c.cfg.ReportEvery)
 	}
 	c.table.Observe(msg.Tags)
@@ -83,12 +85,15 @@ func (c *Calculator) observe(msg NotifyMsg, out storm.Collector) {
 	if st := c.cfg.Stages; st != nil && msg.Ingest > 0 {
 		st.DocCoefficient.Record(telemetry.Since(msg.Ingest))
 	}
+	if msg.Trace != 0 {
+		c.cfg.Flight.Span(msg.Trace, flight.StageCalculate, start, telemetry.Now())
+	}
 }
 
 // Cleanup flushes the final partial period.
 func (c *Calculator) Cleanup(out storm.Collector) {
 	if c.hasData && c.table.Docs() > 0 {
-		c.flush(out, 0)
+		c.flush(out, 0, 0)
 	}
 }
 
@@ -99,14 +104,14 @@ func (c *Calculator) Cleanup(out storm.Collector) {
 // tagset-key hash routes to it (CoeffKey reads the Route field). Either
 // way the hot path's dataflow counters and mailbox pressure stay
 // proportional to periods rather than pairs.
-func (c *Calculator) flush(out storm.Collector, ingest int64) {
+func (c *Calculator) flush(out storm.Collector, ingest int64, trace uint64) {
 	coeffs := c.table.Coefficients(1)
 	period := int64(c.boundary / c.cfg.ReportEvery)
 	switch {
 	case len(coeffs) == 0:
 	case c.trackerTasks <= 1:
 		out.Emit(storm.Tuple{Stream: StreamCoeff, Values: []interface{}{
-			CoeffBatch{Period: period, Coeffs: coeffs, Ingest: ingest},
+			CoeffBatch{Period: period, Coeffs: coeffs, Ingest: ingest, Trace: trace},
 		}})
 	default:
 		parts := make([][]jaccard.Coefficient, c.trackerTasks)
@@ -119,7 +124,7 @@ func (c *Calculator) flush(out storm.Collector, ingest int64) {
 				continue
 			}
 			out.Emit(storm.Tuple{Stream: StreamCoeff, Values: []interface{}{
-				CoeffBatch{Period: period, Route: uint64(g), Coeffs: part, Ingest: ingest},
+				CoeffBatch{Period: period, Route: uint64(g), Coeffs: part, Ingest: ingest, Trace: trace},
 			}})
 		}
 	}

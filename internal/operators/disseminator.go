@@ -1,12 +1,15 @@
 package operators
 
 import (
+	"fmt"
 	"sync"
 
+	"repro/internal/flight"
 	"repro/internal/metrics"
 	"repro/internal/partition"
 	"repro/internal/storm"
 	"repro/internal/tagset"
+	"repro/internal/telemetry"
 )
 
 // Cause classifies what triggered a repartition (Figure 6 splits the counts
@@ -304,6 +307,7 @@ func appendUnique(s []int, v int) []int {
 }
 
 func (d *Disseminator) onDoc(msg DocMsg, out storm.Collector) {
+	docStart := telemetry.Now()
 	d.Stats.Docs++
 
 	// Bootstrap: ask for the first partitions once a full window of data
@@ -338,10 +342,10 @@ func (d *Disseminator) onDoc(msg DocMsg, out storm.Collector) {
 			covered = true
 		}
 		if d.notifyBuf != nil {
-			d.notifyBuf[c] = append(d.notifyBuf[c], NotifyMsg{Time: msg.Time, Tags: sub, Ingest: msg.Ingest})
+			d.notifyBuf[c] = append(d.notifyBuf[c], NotifyMsg{Time: msg.Time, Tags: sub, Ingest: msg.Ingest, Trace: msg.Trace})
 		} else {
 			out.EmitDirect(d.calcTasks[c], storm.Tuple{Stream: StreamNotify, Values: []interface{}{
-				NotifyMsg{Time: msg.Time, Tags: sub, Ingest: msg.Ingest},
+				NotifyMsg{Time: msg.Time, Tags: sub, Ingest: msg.Ingest, Trace: msg.Trace},
 			}})
 		}
 		d.Stats.Notifications++
@@ -372,6 +376,10 @@ func (d *Disseminator) onDoc(msg DocMsg, out storm.Collector) {
 				}})
 			}
 		}
+	}
+
+	if msg.Trace != 0 {
+		d.cfg.Flight.Span(msg.Trace, flight.StageDisseminate, docStart, telemetry.Now())
 	}
 
 	if d.batchDocs >= int64(d.cfg.StatsEvery) {
@@ -424,15 +432,21 @@ func (d *Disseminator) evaluateBatch(out storm.Collector) {
 		commBad := avgCom > d.refAvgCom*(1+d.cfg.Thr)
 		loadBad := maxLoad > d.refMaxLoad*(1+d.cfg.Thr)
 		if commBad || loadBad {
+			cause := CauseLoad
 			switch {
 			case commBad && loadBad:
 				d.Stats.CauseBoth++
+				cause = CauseBoth
 			case commBad:
 				d.Stats.CauseComm++
+				cause = CauseCommunication
 			default:
 				d.Stats.CauseLoad++
 			}
 			d.Stats.Repartitions++
+			d.cfg.Flight.RecordEvent(flight.EventRepartition, fmt.Sprintf(
+				"cause=%s epoch=%d avgCom=%.2f/%.2f maxLoad=%.2f/%.2f",
+				cause, d.epoch+1, avgCom, d.refAvgCom, maxLoad, d.refMaxLoad))
 			if !d.cfg.NoSeries {
 				d.Stats.CommSeries.Mark(x)
 			}

@@ -16,6 +16,7 @@ import (
 	"hash/fnv"
 	"math"
 
+	"repro/internal/flight"
 	"repro/internal/jaccard"
 	"repro/internal/partition"
 	"repro/internal/storm"
@@ -47,6 +48,9 @@ type DocMsg struct {
 	Time   stream.Millis
 	Tags   tagset.Set
 	Ingest int64
+	// Trace is the document's flight-recorder trace ID (0: untraced).
+	// Operators that do per-document work record a span against it.
+	Trace uint64
 }
 
 // PartialMsg is one Partitioner's contribution to a repartition epoch: the
@@ -90,6 +94,7 @@ type NotifyMsg struct {
 	Time   stream.Millis
 	Tags   tagset.Set
 	Ingest int64
+	Trace  uint64 // flight-recorder trace ID of the source document (0: untraced)
 }
 
 // NotifyBatch carries several notifications to one Calculator in a single
@@ -126,6 +131,9 @@ type CoeffBatch struct {
 	// this flush (0 for Cleanup flushes), closing the doc→tracker-accept
 	// latency trace when the Tracker ingests the batch.
 	Ingest int64
+	// Trace is the flight-recorder trace ID of that same triggering
+	// document (0: untraced).
+	Trace uint64
 }
 
 // TrendMsg is one deduplicated coefficient acceptance, emitted by the
@@ -135,6 +143,7 @@ type CoeffBatch struct {
 type TrendMsg struct {
 	Period int64
 	Coeff  jaccard.Coefficient
+	Trace  uint64 // flight-recorder trace ID of the triggering document (0: untraced)
 }
 
 // Config carries the paper's experiment parameters (Section 8.1).
@@ -271,6 +280,12 @@ type Config struct {
 	// time and the Partitioner, Calculator and Tracker record their
 	// doc→stage latencies into it. nil — the default — traces nothing.
 	Stages *Stages //vet:ok configparity -- optional tracing sink; nil and any non-nil value are valid
+
+	// Flight is the pipeline's flight recorder: when set, the Source
+	// samples per-document span traces into it and the operators record
+	// operational events (repartitions, retention prunes). nil — the
+	// default — records nothing; every recording call is nil-safe.
+	Flight *flight.Recorder //vet:ok configparity -- optional observability sink; nil and any non-nil recorder are valid
 
 	// CalibrateRefs replaces the Merger's partition-level reference
 	// quality with the first statistics batch measured on live traffic
@@ -457,8 +472,14 @@ func routeHash(k tagset.Key) uint64 {
 // Source adapts any document iterator (generator, slice, JSONL reader) to a
 // storm spout. The next function returns false when the stream ends.
 type Source struct {
-	next func() (stream.Document, bool)
+	next   func() (stream.Document, bool)
+	flight *flight.Recorder
 }
+
+// SetFlight attaches the flight recorder: every emitted document gets a
+// Begin call (which decides sampling and assigns the trace ID carried in
+// DocMsg.Trace). Call before the run starts.
+func (s *Source) SetFlight(rec *flight.Recorder) { s.flight = rec }
 
 // NewSource wraps next into a spout.
 func NewSource(next func() (stream.Document, bool)) *Source {
@@ -487,7 +508,9 @@ func (s *Source) NextTuple(out storm.Collector) bool {
 	if !ok {
 		return false
 	}
-	out.Emit(storm.Tuple{Stream: StreamDoc, Values: []interface{}{DocMsg{Time: d.Time, Tags: d.Tags, Ingest: telemetry.Now()}}})
+	ingest := telemetry.Now()
+	trace := s.flight.Begin(ingest) // nil-safe; 0 when untraced
+	out.Emit(storm.Tuple{Stream: StreamDoc, Values: []interface{}{DocMsg{Time: d.Time, Tags: d.Tags, Ingest: ingest, Trace: trace}}})
 	return true
 }
 

@@ -3,6 +3,7 @@ package operators
 import (
 	"sync"
 
+	"repro/internal/flight"
 	"repro/internal/graph"
 	"repro/internal/partition"
 	"repro/internal/storm"
@@ -62,9 +63,13 @@ func (p *Partitioner) Execute(t storm.Tuple, out storm.Collector) {
 	switch t.Stream {
 	case StreamDoc:
 		msg := t.Values[0].(DocMsg)
+		start := telemetry.Now()
 		p.window.Add(stream.Document{Time: msg.Time, Tags: msg.Tags})
 		if st := p.cfg.Stages; st != nil && msg.Ingest > 0 {
 			st.DocPartition.Record(telemetry.Since(msg.Ingest))
+		}
+		if msg.Trace != 0 {
+			p.cfg.Flight.Span(msg.Trace, flight.StagePartition, start, telemetry.Now())
 		}
 	case StreamRepartition:
 		req := t.Values[0].(RepartitionReq)

@@ -5,9 +5,11 @@ import (
 	"container/list"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/flight"
 	"repro/internal/jaccard"
 	"repro/internal/storm"
 	"repro/internal/tagset"
@@ -70,6 +72,11 @@ type Tracker struct {
 	// coefficient batch (SetStages); set during assembly, read-only once
 	// the run starts.
 	stages *Stages
+
+	// flightRec records track/archive spans for traced batches and
+	// retention-prune events (SetFlight); set during assembly, read-only
+	// once the run starts. Nil-safe.
+	flightRec *flight.Recorder
 
 	// Received counts all incoming coefficients; Duplicates counts those
 	// that collided with an existing report for the same tagset and period;
@@ -198,6 +205,11 @@ func (tr *Tracker) EnableTrendEmit() { tr.emitTrend = true }
 // Call before the run starts.
 func (tr *Tracker) SetStages(st *Stages) { tr.stages = st }
 
+// SetFlight wires the flight recorder: traced coefficient batches record
+// track (and archive) spans and retention prunes record events. Call
+// before the run starts.
+func (tr *Tracker) SetFlight(rec *flight.Recorder) { tr.flightRec = rec }
+
 // Execute implements storm.Bolt: the report path. Calculators ship one
 // CoeffBatch per period flush; the single-coefficient CoeffMsg form is
 // accepted too. Each coefficient consults the period registry (opening a
@@ -206,18 +218,22 @@ func (tr *Tracker) SetStages(st *Stages) { tr.stages = st }
 func (tr *Tracker) Execute(t storm.Tuple, out storm.Collector) {
 	switch msg := t.Values[0].(type) {
 	case CoeffBatch:
+		start := telemetry.Now()
 		for _, c := range msg.Coeffs {
-			tr.reportOne(msg.Period, c, out)
+			tr.reportOne(msg.Period, c, msg.Trace, out)
 		}
 		if tr.stages != nil && msg.Ingest > 0 {
 			tr.stages.DocTrackerAccept.Record(telemetry.Since(msg.Ingest))
 		}
+		if msg.Trace != 0 {
+			tr.flightRec.Span(msg.Trace, flight.StageTrack, start, telemetry.Now())
+		}
 	case CoeffMsg:
-		tr.reportOne(msg.Period, msg.Coeff, out)
+		tr.reportOne(msg.Period, msg.Coeff, 0, out)
 	}
 }
 
-func (tr *Tracker) reportOne(period int64, c jaccard.Coefficient, out storm.Collector) {
+func (tr *Tracker) reportOne(period int64, c jaccard.Coefficient, trace uint64, out storm.Collector) {
 	atomic.AddInt64(&tr.Received, 1)
 
 	retained, fresh, pruned := tr.reg.ensure(period)
@@ -247,11 +263,15 @@ func (tr *Tracker) reportOne(period int64, c jaccard.Coefficient, out storm.Coll
 	}
 	if !dup || updated {
 		if tr.archive != nil {
+			archStart := telemetry.Now()
 			tr.archive.AppendCoefficient(period, c)
+			if trace != 0 {
+				tr.flightRec.Span(trace, flight.StageArchive, archStart, telemetry.Now())
+			}
 		}
 		if tr.emitTrend && out != nil {
 			out.Emit(storm.Tuple{Stream: StreamTrend, Values: []interface{}{
-				TrendMsg{Period: period, Coeff: c},
+				TrendMsg{Period: period, Coeff: c, Trace: trace},
 			}})
 		}
 	}
@@ -285,6 +305,8 @@ func (tr *Tracker) prunePeriod(p int64) {
 	if tr.archive != nil {
 		tr.archive.SealPeriod(p)
 	}
+	tr.flightRec.RecordEvent(flight.EventRetentionPrune,
+		"period "+strconv.FormatInt(p, 10)+" pruned")
 }
 
 // shardOf routes a tagset key to its shard (routeHash: FNV-1a over the key

@@ -4,7 +4,9 @@ import (
 	"hash/fnv"
 	"sync/atomic"
 
+	"repro/internal/flight"
 	"repro/internal/storm"
+	"repro/internal/telemetry"
 	"repro/internal/trend"
 )
 
@@ -17,7 +19,8 @@ import (
 // on. The detector itself is shard-locked, so the tasks feed it
 // concurrently without coordination.
 type Trend struct {
-	det *trend.Stream
+	det    *trend.Stream
+	flight *flight.Recorder
 
 	// Observed counts the reports this instance fed to the detector
 	// (atomic: read mid-run by tests and snapshots).
@@ -26,6 +29,10 @@ type Trend struct {
 
 // NewTrend returns a Trend bolt feeding det.
 func NewTrend(det *trend.Stream) *Trend { return &Trend{det: det} }
+
+// SetFlight wires the flight recorder: traced reports record a trend
+// span. Call before the run starts.
+func (tb *Trend) SetFlight(rec *flight.Recorder) { tb.flight = rec }
 
 // Detector returns the shared streaming detector.
 func (tb *Trend) Detector() *trend.Stream { return tb.det }
@@ -36,8 +43,12 @@ func (tb *Trend) Prepare(*storm.TaskContext) {}
 // Execute implements storm.Bolt.
 func (tb *Trend) Execute(t storm.Tuple, _ storm.Collector) {
 	msg := t.Values[0].(TrendMsg)
+	start := telemetry.Now()
 	tb.det.Observe(msg.Period, msg.Coeff)
 	atomic.AddInt64(&tb.Observed, 1)
+	if msg.Trace != 0 {
+		tb.flight.Span(msg.Trace, flight.StageTrend, start, telemetry.Now())
+	}
 }
 
 // TrendKey hashes a TrendMsg's tagset for fields grouping, so every report

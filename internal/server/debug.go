@@ -1,0 +1,212 @@
+package server
+
+// The flight-recorder surface: the stall watchdog's probes and the
+// /debug/traces, /debug/traces/{id} and /debug/events endpoints. The
+// debug endpoints answer 404 without a configured flight recorder; the
+// watchdog runs regardless (its verdict reaches /healthz and the
+// tagcorr_watchdog_* families either way).
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/flight"
+	"repro/internal/telemetry"
+)
+
+// watchdogChecks builds the standard stall probes over the pipeline's
+// existing counters. Every probe is cheap (atomic loads, the cached
+// snapshot) and runs on the watchdog goroutine.
+func (s *Server) watchdogChecks() []flight.Check {
+	// mailbox_pinned closure state: the previous tick's saturation and
+	// document counters. The verdict is "spouts keep parking at the
+	// max-spout-pending cap while no document makes progress" — the
+	// signature of a wedged consumer, as opposed to ordinary backpressure
+	// where docs still advance between ticks.
+	var satMu sync.Mutex
+	var prevSat, prevDocs int64
+	seeded := false
+
+	return []flight.Check{
+		{
+			Name: "snapshot_stale",
+			Probe: func() (bool, string) {
+				if !s.handle.Running() {
+					return false, ""
+				}
+				snap := s.Snapshot()
+				if snap == nil {
+					return false, ""
+				}
+				age := time.Since(snap.TakenAt)
+				if age <= s.cfg.SnapshotStaleAfter {
+					return false, ""
+				}
+				return true, fmt.Sprintf("snapshot %s old (threshold %s)", age.Round(time.Millisecond), s.cfg.SnapshotStaleAfter)
+			},
+		},
+		{
+			Name: "mailbox_pinned",
+			Probe: func() (bool, string) {
+				sat := s.pipe.ThrottleSaturations()
+				var docs int64
+				if snap := s.Snapshot(); snap != nil {
+					docs = snap.DocsProcessed
+				}
+				satMu.Lock()
+				defer satMu.Unlock()
+				if !seeded {
+					seeded = true
+					prevSat, prevDocs = sat, docs
+					return false, ""
+				}
+				stalled := s.handle.Running() && sat > prevSat && docs == prevDocs
+				detail := ""
+				if stalled {
+					detail = fmt.Sprintf("%d spout parks this tick, docs pinned at %d", sat-prevSat, docs)
+				}
+				prevSat, prevDocs = sat, docs
+				return stalled, detail
+			},
+		},
+		{
+			Name: "checkpoint_overdue",
+			Probe: func() (bool, string) {
+				if !s.pipe.Archiving() || !s.handle.Running() {
+					return false, ""
+				}
+				age, ok := s.pipe.LastCheckpointAge()
+				if !ok {
+					// No checkpoint yet: measure from server start so a
+					// pipeline that never checkpoints still trips.
+					age = time.Since(s.started)
+				}
+				if age <= s.cfg.CheckpointOverdueAfter {
+					return false, ""
+				}
+				return true, fmt.Sprintf("last checkpoint %s ago (threshold %s)", age.Round(time.Second), s.cfg.CheckpointOverdueAfter)
+			},
+		},
+		{
+			Name: "archive_error",
+			Probe: func() (bool, string) {
+				if err := s.pipe.ArchiveErr(); err != nil {
+					return true, err.Error()
+				}
+				return false, ""
+			},
+		},
+	}
+}
+
+// debugEvent is the /debug/events JSON rendering of one flight event.
+type debugEvent struct {
+	Seq  uint64 `json:"seq"`
+	Kind string `json:"kind"`
+	AtMS int64  `json:"at_ms"` // monotonic ms since process start
+	Wall string `json:"wall"`  // approximate wall-clock time, RFC3339
+	Msg  string `json:"msg"`
+}
+
+func (s *Server) handleDebugEvents(w http.ResponseWriter, r *http.Request) {
+	rec := s.cfg.Flight
+	if rec == nil {
+		httpError(w, http.StatusNotFound, "no flight recorder configured")
+		return
+	}
+	events := rec.Events()
+	out := make([]debugEvent, len(events))
+	for i, e := range events {
+		out[i] = debugEvent{
+			Seq:  e.Seq,
+			Kind: e.Kind,
+			AtMS: e.At / 1e6,
+			Wall: telemetry.Wall(e.At).Format(time.RFC3339Nano),
+			Msg:  e.Msg,
+		}
+	}
+	writeJSON(w, map[string]interface{}{
+		"count":  len(out),
+		"events": out,
+	})
+}
+
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	rec := s.cfg.Flight
+	if rec == nil {
+		httpError(w, http.StatusNotFound, "no flight recorder configured")
+		return
+	}
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "limit must be a positive integer")
+			return
+		}
+		limit = n
+	}
+	st := rec.Snapshot()
+	writeJSON(w, map[string]interface{}{
+		"docs_seen":       st.DocsSeen,
+		"traces_started":  st.TracesStarted,
+		"retained_sample": st.KeptSample,
+		"retained_slow":   st.KeptSlow,
+		"discarded":       st.Discarded,
+		"active":          st.Active,
+		"retained":        st.Retained,
+		"traces":          rec.Traces(limit),
+	})
+}
+
+// debugSpan renders one span with both raw monotonic stamps (exact,
+// comparable across spans) and offsets from the trace's ingest stamp.
+type debugSpan struct {
+	Stage   string `json:"stage"`
+	StartNS int64  `json:"start_ns"`
+	EndNS   int64  `json:"end_ns"`
+	OffsetU int64  `json:"offset_us"` // start - ingest
+	DurU    int64  `json:"dur_us"`    // end - start
+	Count   int    `json:"count"`
+}
+
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	rec := s.cfg.Flight
+	if rec == nil {
+		httpError(w, http.StatusNotFound, "no flight recorder configured")
+		return
+	}
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil || id == 0 {
+		httpError(w, http.StatusBadRequest, "trace id must be a positive integer")
+		return
+	}
+	t, ok := rec.TraceByID(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "trace not found (discarded, overwritten or never sampled)")
+		return
+	}
+	spans := make([]debugSpan, len(t.Spans))
+	for i, sp := range t.Spans {
+		spans[i] = debugSpan{
+			Stage:   sp.Stage,
+			StartNS: sp.Start,
+			EndNS:   sp.End,
+			OffsetU: (sp.Start - t.Ingest) / 1e3,
+			DurU:    (sp.End - sp.Start) / 1e3,
+			Count:   sp.Count,
+		}
+	}
+	writeJSON(w, map[string]interface{}{
+		"id":          t.ID,
+		"sampled":     t.Sampled,
+		"retained":    t.Retained,
+		"complete":    t.Complete(),
+		"ingest_ns":   t.Ingest,
+		"duration_us": t.Duration() / 1e3,
+		"spans":       spans,
+	})
+}

@@ -51,6 +51,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -60,6 +61,7 @@ import (
 
 	"repro/internal/archive"
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/jaccard"
 	"repro/internal/partition"
 	"repro/internal/procstat"
@@ -90,6 +92,27 @@ type Config struct {
 	// latency, status classes, process gauges) into it, so pass a registry
 	// that does not already hold them — or leave nil and New creates one.
 	Metrics *telemetry.Registry
+	// Flight is the pipeline's flight recorder, served on /debug/traces,
+	// /debug/traces/{id} and /debug/events (nil: those routes answer 404;
+	// the watchdog still runs and its verdict still reaches /healthz).
+	// Pass the same recorder wired into the pipeline's Config.Flight.
+	Flight *flight.Recorder
+	// WatchdogInterval is the stall-check evaluation period. Default 1s.
+	WatchdogInterval time.Duration
+	// SnapshotStaleAfter: the snapshot_stale verdict fires when the cached
+	// snapshot's age exceeds this while the run is live. Default
+	// max(10s, 4×Refresh).
+	SnapshotStaleAfter time.Duration
+	// CheckpointOverdueAfter: the checkpoint_overdue verdict fires when an
+	// archiving pipeline has not completed a checkpoint for this long
+	// while running. Default 2m.
+	CheckpointOverdueAfter time.Duration
+	// LogRequests emits one slog debug line per HTTP request (route
+	// pattern, status, latency) through the statusWriter middleware.
+	LogRequests bool
+	// Logger receives watchdog verdicts and request logs (nil:
+	// slog.Default).
+	Logger *slog.Logger
 }
 
 // withDefaults fills unset fields.
@@ -102,6 +125,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HistoryPairScan <= 0 {
 		c.HistoryPairScan = 64
+	}
+	if c.WatchdogInterval <= 0 {
+		c.WatchdogInterval = time.Second
+	}
+	if c.SnapshotStaleAfter <= 0 {
+		c.SnapshotStaleAfter = 10 * time.Second
+		if v := 4 * c.Refresh; v > c.SnapshotStaleAfter {
+			c.SnapshotStaleAfter = v
+		}
+	}
+	if c.CheckpointOverdueAfter <= 0 {
+		c.CheckpointOverdueAfter = 2 * time.Minute
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
 	}
 	return c
 }
@@ -134,6 +172,11 @@ type Server struct {
 	routeCounters map[string]map[string]*telemetry.Counter
 	started       time.Time
 
+	// watchdog derives stall verdicts from the pipeline's counters; its
+	// verdict is embedded in /healthz and /readyz and its transitions
+	// become flight events and slog warnings.
+	watchdog *flight.Watchdog
+
 	stopOnce sync.Once
 	stop     chan struct{}
 	loopDone chan struct{}
@@ -157,6 +200,9 @@ var routes = []string{
 	"/history/pairs/{tagA}/{tagB}",
 	"/history/trends",
 	"/metrics",
+	"/debug/traces",
+	"/debug/traces/{id}",
+	"/debug/events",
 }
 
 var statusClasses = []string{"2xx", "3xx", "4xx", "5xx"}
@@ -178,9 +224,11 @@ func New(pipe *core.Pipeline, handle *core.Handle, dict *tagset.Dictionary, cfg 
 		loopDone: make(chan struct{}),
 	}
 	pipe.Tracker().EnsureTopKBound(s.cfg.TopK)
+	s.watchdog = flight.NewWatchdog(s.cfg.Flight, s.cfg.Logger, s.cfg.WatchdogInterval, s.watchdogChecks()...)
 	s.initMetrics()
 	s.RefreshNow()
 	go s.refreshLoop()
+	s.watchdog.Start()
 	return s
 }
 
@@ -217,6 +265,24 @@ func (s *Server) initMetrics() {
 	s.reg.GaugeFunc("tagcorr_process_goroutines",
 		"Live goroutines.",
 		nil, func() float64 { return float64(runtime.NumGoroutine()) })
+
+	for _, name := range s.watchdog.Names() {
+		name := name
+		s.reg.GaugeFunc("tagcorr_watchdog_stalled_checks",
+			"Current stall verdict per watchdog check (1: stalled).",
+			telemetry.Labels{"check": name}, func() float64 {
+				if s.watchdog.Stalled(name) {
+					return 1
+				}
+				return 0
+			})
+		s.reg.CounterFunc("tagcorr_watchdog_stalls_total",
+			"ok→stalled verdict transitions per watchdog check.",
+			telemetry.Labels{"check": name}, func() int64 { return s.watchdog.Stalls(name) })
+	}
+	s.reg.CounterFunc("tagcorr_watchdog_ticks_total",
+		"Completed watchdog evaluation rounds.",
+		nil, s.watchdog.Ticks)
 }
 
 // Registry exposes the telemetry registry behind /metrics.
@@ -252,12 +318,18 @@ func (s *Server) RefreshNow() {
 	s.mu.Unlock()
 }
 
-// Close stops the refresh loop (after a final refresh) and waits for it to
-// exit. The handlers stay functional on the last cached snapshot.
+// Close stops the watchdog and the refresh loop (after a final refresh)
+// and waits for both to exit. The handlers stay functional on the last
+// cached snapshot.
 func (s *Server) Close() {
+	s.watchdog.Close()
 	s.stopOnce.Do(func() { close(s.stop) })
 	<-s.loopDone
 }
+
+// Watchdog exposes the stall watchdog (the daemon's SIGQUIT dump reads
+// its verdict).
+func (s *Server) Watchdog() *flight.Watchdog { return s.watchdog }
 
 // Snapshot returns the currently cached snapshot.
 func (s *Server) Snapshot() *core.Snapshot {
@@ -285,6 +357,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /history/pairs/{tagA}/{tagB}", s.instrument("/history/pairs/{tagA}/{tagB}", s.handleHistoryPair))
 	mux.HandleFunc("GET /history/trends", s.instrument("/history/trends", s.handleHistoryTrends))
 	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.reg.Handler().ServeHTTP))
+	mux.HandleFunc("GET /debug/traces", s.instrument("/debug/traces", s.handleDebugTraces))
+	mux.HandleFunc("GET /debug/traces/{id}", s.instrument("/debug/traces/{id}", s.handleDebugTrace))
+	mux.HandleFunc("GET /debug/events", s.instrument("/debug/events", s.handleDebugEvents))
 	return mux
 }
 
@@ -325,7 +400,8 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
 		h(sw, r)
-		hist.Record(time.Since(start))
+		took := time.Since(start)
+		hist.Record(took)
 		class := "2xx"
 		switch {
 		case sw.status >= 500:
@@ -336,6 +412,14 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 			class = "3xx"
 		}
 		byClass[class].Inc()
+		if s.cfg.LogRequests {
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			s.cfg.Logger.Debug("http request",
+				"route", route, "status", status, "latency_ms", took.Milliseconds())
+		}
 	}
 }
 
@@ -1133,11 +1217,16 @@ func (s *Server) buildStatsStatic(snap *core.Snapshot) statsStatic {
 	}
 }
 
-// HealthResponse is the /healthz payload.
+// HealthResponse is the /healthz payload. Watchdog carries the stall
+// watchdog's current verdict ("ok", or "stalled: …" naming the tripped
+// checks) and UptimeMS the serving layer's age, so a probe can tell
+// "just started" from "up but wedged".
 type HealthResponse struct {
 	Status        string `json:"status"`
 	Running       bool   `json:"running"`
 	DocsProcessed int64  `json:"docs_processed"`
+	UptimeMS      int64  `json:"uptime_ms"`
+	Watchdog      string `json:"watchdog"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -1145,6 +1234,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:        "ok",
 		Running:       s.handle.Running(),
 		DocsProcessed: s.Snapshot().DocsProcessed,
+		UptimeMS:      time.Since(s.started).Milliseconds(),
+		Watchdog:      s.watchdog.Verdict(),
 	})
 }
 
@@ -1155,9 +1246,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // the first document has been processed; a drained run stays ready (its
 // final state is still being served).
 type ReadyResponse struct {
-	Ready         bool  `json:"ready"`
-	Running       bool  `json:"running"`
-	DocsProcessed int64 `json:"docs_processed"`
+	Ready         bool   `json:"ready"`
+	Running       bool   `json:"running"`
+	DocsProcessed int64  `json:"docs_processed"`
+	UptimeMS      int64  `json:"uptime_ms"`
+	Watchdog      string `json:"watchdog"`
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
@@ -1173,6 +1266,8 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		Ready:         docs > 0,
 		Running:       s.handle.Running(),
 		DocsProcessed: docs,
+		UptimeMS:      time.Since(s.started).Milliseconds(),
+		Watchdog:      s.watchdog.Verdict(),
 	}
 	if !resp.Ready {
 		w.Header().Set("Content-Type", "application/json")

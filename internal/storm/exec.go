@@ -301,6 +301,10 @@ func (ex *conExecutor) waitBelowPending() {
 	if atomic.LoadInt64(&ex.inflight) < ex.pending {
 		return
 	}
+	atomic.AddInt64(&ex.tp.stats.throttleSat, 1)
+	if h := ex.tp.satHook; h != nil {
+		h()
+	}
 	ex.throttleMu.Lock()
 	atomic.AddInt64(&ex.throttled, 1)
 	for atomic.LoadInt64(&ex.inflight) >= ex.pending {

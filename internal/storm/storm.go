@@ -232,7 +232,17 @@ type Topology struct {
 	tasks      []*task
 	stats      *Stats
 	maxPending int // spout throttle; 0 means the default
+
+	// satHook, when set, is called each time a spout parks on the
+	// throttle (after the saturation counter increments). Set before the
+	// run starts (read once at StartConcurrent); the hook must be cheap
+	// and non-blocking — it runs on the spout goroutine.
+	satHook func()
 }
+
+// SetThrottleHook installs a callback invoked whenever a spout parks on
+// the max-spout-pending throttle. Call before the run starts.
+func (tp *Topology) SetThrottleHook(f func()) { tp.satHook = f }
 
 // task is one runtime instance.
 type task struct {
@@ -312,6 +322,12 @@ type Stats struct {
 	// backlog compactions (dead-prefix slides) across all mailboxes.
 	mailboxHW      []int64 // atomic; indexed by TaskID
 	mailboxCompact int64   // atomic
+
+	// throttleSat counts spout-throttle saturations: times a spout found
+	// the in-flight tuple count at the cap and had to park (concurrent
+	// executor only). A steadily climbing value with no document progress
+	// is the signature of a stalled consumer.
+	throttleSat int64 // atomic
 }
 
 func newStats(tp *Topology) *Stats {
@@ -409,6 +425,12 @@ func (s *Stats) MailboxHighWater(tp *Topology, component string) []int64 {
 // compactions across all tasks.
 func (s *Stats) MailboxCompactions() int64 {
 	return atomic.LoadInt64(&s.mailboxCompact)
+}
+
+// ThrottleSaturations returns how many times a spout hit the
+// max-spout-pending cap and parked (0 under the sequential executor).
+func (s *Stats) ThrottleSaturations() int64 {
+	return atomic.LoadInt64(&s.throttleSat)
 }
 
 // TaskReceived returns per-task received counts for the named component.

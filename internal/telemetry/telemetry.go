@@ -32,6 +32,11 @@ func Now() int64 { return int64(time.Since(processStart)) }
 // Since returns the elapsed duration from a stamp taken with Now.
 func Since(stamp int64) time.Duration { return time.Duration(Now() - stamp) }
 
+// Wall converts a stamp taken with Now back to an approximate wall-clock
+// time (exact up to wall-clock steps since process start). Flight-recorder
+// dumps use it so operators can line events up with external logs.
+func Wall(stamp int64) time.Time { return processStart.Add(time.Duration(stamp)) }
+
 // Counter is a monotonically increasing atomic counter.
 type Counter struct{ v atomic.Int64 }
 

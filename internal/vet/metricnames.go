@@ -25,14 +25,16 @@ var MetricNames = &Analyzer{
 
 // metricSubsystems are the approved <subsystem> segments.
 var metricSubsystems = map[string]bool{
-	"storm":   true,
-	"dissem":  true,
-	"tracker": true,
-	"stage":   true,
-	"archive": true,
-	"trend":   true,
-	"http":    true,
-	"process": true,
+	"storm":    true,
+	"dissem":   true,
+	"tracker":  true,
+	"stage":    true,
+	"archive":  true,
+	"trend":    true,
+	"http":     true,
+	"process":  true,
+	"flight":   true,
+	"watchdog": true,
 }
 
 // gaugeUnits are the approved trailing unit nouns for gauges. Counters must
@@ -49,6 +51,8 @@ var gaugeUnits = map[string]bool{
 	"subscribers":  true,
 	"predictors":   true,
 	"ratio":        true,
+	"traces":       true,
+	"checks":       true,
 }
 
 // registryKinds maps telemetry.Registry registration methods to the
@@ -137,7 +141,7 @@ func checkFamilyName(pass *Pass, at ast.Expr, name, kind string) {
 		return
 	}
 	if !metricSubsystems[segs[0]] {
-		pass.Reportf(at.Pos(), "family %q uses unknown subsystem %q (approved: storm dissem tracker stage archive trend http process)", name, segs[0])
+		pass.Reportf(at.Pos(), "family %q uses unknown subsystem %q (approved: storm dissem tracker stage archive trend http process flight watchdog)", name, segs[0])
 		return
 	}
 	last := segs[len(segs)-1]
@@ -154,7 +158,7 @@ func checkFamilyName(pass *Pass, at ast.Expr, name, kind string) {
 		if last == "total" {
 			pass.Reportf(at.Pos(), "gauge family %q must not end in _total (that suffix is reserved for counters)", name)
 		} else if !gaugeUnits[last] {
-			pass.Reportf(at.Pos(), "gauge family %q must end in an approved unit noun (seconds bytes entries periods coefficients tuples docs goroutines subscribers predictors ratio)", name)
+			pass.Reportf(at.Pos(), "gauge family %q must end in an approved unit noun (seconds bytes entries periods coefficients tuples docs goroutines subscribers predictors ratio traces checks)", name)
 		}
 	}
 }
